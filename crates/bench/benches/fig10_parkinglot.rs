@@ -1,0 +1,24 @@
+//! Figure 10 harness at reduced scale: the parking-lot topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::fig10::{capacity_cases, run_fig10_case};
+use netfence_experiments::{DefenseKind, Scale};
+use netfence_sim::time::SEC;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_parking_lot");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    let scale = Scale { src_ases: 1, hosts_per_as: 4, sim_time: 30 * SEC, seed: 7 };
+    for case in capacity_cases(8, 80_000) {
+        g.bench_function(case.label, |b| {
+            b.iter(|| {
+                let p = run_fig10_case(&scale, DefenseKind::NetFence, case);
+                std::hint::black_box((p.group_a_user_bps, p.group_a_attacker_bps))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

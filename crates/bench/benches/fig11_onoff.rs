@@ -1,0 +1,24 @@
+//! Figure 11 harness at reduced scale: synchronized on-off attacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::fig11::run_fig11_cell;
+use netfence_experiments::Scale;
+use netfence_sim::time::{secs, SEC};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_onoff");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    let scale = Scale { src_ases: 2, hosts_per_as: 4, sim_time: 30 * SEC, seed: 7 };
+    for toff in [1.5, 10.0] {
+        g.bench_function(format!("ton0.5s_toff{toff}s"), |b| {
+            b.iter(|| {
+                let p = run_fig11_cell(&scale, 100_000, secs(0.5), secs(toff));
+                std::hint::black_box(p.avg_user_bps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

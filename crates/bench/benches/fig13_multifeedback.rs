@@ -1,0 +1,17 @@
+//! Figure 13 harness: the Appendix B.1 multi-bottleneck feedback design
+//! (control-loop model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::fig13::run_fig13;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_multifeedback");
+    g.sample_size(10);
+    g.bench_function("three_capacity_cases", |b| {
+        b.iter(|| std::hint::black_box(run_fig13(8, 200)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 14 harness: the Appendix B.2 rate-limiter inference design
+//! (control-loop model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::fig13::run_fig14;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_inference");
+    g.sample_size(10);
+    g.bench_function("three_capacity_cases", |b| {
+        b.iter(|| std::hint::black_box(run_fig14(8, 200)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Figure 7: per-packet processing cost of the NetFence fast paths,
+//! measured with Criterion (the `fig7` experiment binary prints the same
+//! table using wall-clock averages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_core::prelude::*;
+use netfence_core::{bottleneck::BottleneckLink, config::Config};
+use netfence_crypto::{full_mesh_exchange, AsKeyAgent, Cmac};
+
+fn fixture() -> (AccessRouter, BottleneckLink, FlowPair) {
+    let agents = vec![AsKeyAgent::new(1, 101), AsKeyAgent::new(2, 202)];
+    let mut tables = full_mesh_exchange(&agents);
+    let t1 = tables.remove(0);
+    let t2 = tables.remove(0);
+    let mut access = AccessRouter::new(Config::default(), AsId(1), [9u8; 16], t1);
+    access.register_link_as(LinkId(500), AsId(2));
+    let bl = BottleneckLink::new(LinkId(500), 10_000_000, t2, Config::default(), 0);
+    (access, bl, FlowPair::new(HostId(1), HostId(2)))
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_microbench");
+
+    // Access router, request packet (stamp nop).
+    {
+        let (mut access, _, flow) = fixture();
+        g.bench_function("access_request_stamp", |b| {
+            b.iter(|| {
+                let mut h = NetFenceHeader::request(17, 0, Feedback::Nop { ts: 0, token: 0 });
+                std::hint::black_box(access.process_outbound(SEC, flow, &mut h, 92))
+            })
+        });
+    }
+
+    // Access router, regular packet with nop feedback (idle network).
+    {
+        let (mut access, _, flow) = fixture();
+        let mut h = NetFenceHeader::request(6, 0, Feedback::Nop { ts: 0, token: 0 });
+        access.process_outbound(SEC, flow, &mut h, 92);
+        let nop = h.presented;
+        g.bench_function("access_regular_no_attack", |b| {
+            b.iter(|| {
+                let mut h = NetFenceHeader::regular(6, nop, None);
+                std::hint::black_box(access.process_outbound(SEC, flow, &mut h, 1500))
+            })
+        });
+    }
+
+    // Bottleneck router stamping L↓ during an attack.
+    {
+        let (mut access, mut bl, flow) = fixture();
+        let mut now = 0;
+        while !bl.in_mon() {
+            now += SEC;
+            for i in 0..200 {
+                bl.record_regular(1500, i % 5 == 0);
+            }
+            bl.tick(now);
+        }
+        let mut h = NetFenceHeader::request(6, 0, Feedback::Nop { ts: 0, token: 0 });
+        access.process_outbound(now, flow, &mut h, 92);
+        let nop = h.presented;
+        g.bench_function("bottleneck_stamp_decr_attack", |b| {
+            b.iter(|| {
+                let mut fb = nop;
+                std::hint::black_box(bl.update_feedback(now, flow, AsId(1), &mut fb))
+            })
+        });
+        g.bench_function("bottleneck_idle", |b| {
+            let quiet = BottleneckLink::new(
+                LinkId(501),
+                10_000_000,
+                netfence_crypto::AsKeyTable::new(),
+                Config::default(),
+                0,
+            );
+            let mut quiet = quiet;
+            b.iter(|| {
+                let mut fb = nop;
+                std::hint::black_box(quiet.update_feedback(now, flow, AsId(1), &mut fb))
+            })
+        });
+    }
+
+    // TVA+ stand-in: one capability MAC verification.
+    {
+        let cmac = Cmac::new(&[0x42u8; 16]);
+        let mac = cmac.mac32(b"capability:12345678");
+        g.bench_function("tva_capability_check", |b| {
+            b.iter(|| std::hint::black_box(cmac.verify32(b"capability:12345678", mac)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8 harness at reduced scale: unwanted request flooding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::fig8::run_fig8_cell;
+use netfence_experiments::{DefenseKind, Scale};
+use netfence_sim::time::SEC;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_unwanted_flood");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    let scale = Scale { src_ases: 3, hosts_per_as: 3, sim_time: 20 * SEC, seed: 7 };
+    for system in [DefenseKind::NetFence, DefenseKind::Tva, DefenseKind::StopIt, DefenseKind::Fq] {
+        g.bench_function(system.label(), |b| {
+            b.iter(|| {
+                let p = run_fig8_cell(&scale, system, 100_000, 100_000);
+                std::hint::black_box(p.avg_transfer_secs)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 9 harness at reduced scale: colluding regular-packet floods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::fig9::{run_fig9_cell, UserTraffic};
+use netfence_experiments::{DefenseKind, Scale};
+use netfence_sim::time::SEC;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_colluding");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    let scale = Scale { src_ases: 3, hosts_per_as: 4, sim_time: 30 * SEC, seed: 7 };
+    for system in [DefenseKind::NetFence, DefenseKind::Fq] {
+        g.bench_function(system.label(), |b| {
+            b.iter(|| {
+                let p = run_fig9_cell(&scale, system, UserTraffic::LongRunning, 100_000, 100_000);
+                std::hint::black_box(p.throughput_ratio)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! # netfence-bench
+//!
+//! Criterion benchmark harness for the NetFence reproduction: one bench per
+//! table/figure of the paper's evaluation (Figure 7 micro-benchmarks,
+//! Figures 8–14 experiment harnesses at reduced scale) plus ablation benches
+//! for the design choices called out in `DESIGN.md`. Run with
+//! `cargo bench --workspace`; see `EXPERIMENTS.md` for how the bench output
+//! maps to the paper's numbers.

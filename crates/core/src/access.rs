@@ -1,0 +1,569 @@
+//! Access-router logic (§4.2, §4.3.3, §4.3.4, Figure 18).
+//!
+//! The access router sits at the trust boundary between end systems and the
+//! network. For every outbound packet from one of its hosts it:
+//!
+//! 1. validates the congestion policing feedback the sender presents;
+//!    packets with missing/invalid feedback are demoted to request packets
+//!    and policed by the per-sender priority token bucket (§4.2);
+//! 2. polices valid regular packets: `nop` feedback passes freely, `mon`
+//!    feedback sends the packet through the per-(sender, bottleneck link)
+//!    leaky-bucket rate limiter (§4.3.3);
+//! 3. re-stamps the feedback before forwarding (`nop` refreshed, `L↑`/`L↓`
+//!    reset to `L↑`), so the bottleneck router only has to touch packets
+//!    when it is actually overloaded;
+//! 4. once per control interval, adjusts every rate limiter with the robust
+//!    AIMD rule (§4.3.4) and garbage-collects limiters that have been idle
+//!    for `Ta`.
+
+use std::collections::HashMap;
+
+use netfence_crypto::{AsKeyTable, TimeVaryingSecret};
+
+use crate::aimd::{Adjustment, AimdState};
+use crate::bottleneck::Channel;
+use crate::config::Config;
+use crate::feedback::{self, Feedback, FeedbackError};
+use crate::header::{NetFenceHeader, PacketKind};
+use crate::regular_limiter::{BucketVerdict, LeakyBucket};
+use crate::request_limiter::{RequestLimiter, RequestVerdict};
+use crate::types::{AsId, FlowPair, HostId, LimiterKey, LinkId, Nanos};
+
+/// Why the access router dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The per-sender request limiter had insufficient tokens for the
+    /// packet's priority level.
+    RequestRateLimited,
+    /// The per-(sender, bottleneck) regular rate limiter's queue delay
+    /// exceeded the maximum.
+    RegularRateLimited,
+}
+
+/// The access router's decision for an outbound packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessVerdict {
+    /// Forward immediately on the given channel.
+    Forward {
+        /// Which router channel the packet should use downstream.
+        channel: Channel,
+    },
+    /// Hold the packet and release it at `release_at` (regular channel).
+    Queued {
+        /// Absolute release time computed by the leaky bucket.
+        release_at: Nanos,
+    },
+    /// Drop the packet.
+    Drop(DropReason),
+}
+
+/// One per-(sender, bottleneck link) rate limiter: leaky bucket + AIMD state
+/// plus the bookkeeping needed for `Ta` garbage collection.
+#[derive(Debug, Clone)]
+pub struct RegularLimiter {
+    /// The policing leaky bucket.
+    pub bucket: LeakyBucket,
+    /// The AIMD rate-limit controller.
+    pub aimd: AimdState,
+    /// Last time this limiter saw `L↓` feedback or discarded a packet; used
+    /// by the `Ta` reclamation rule (§4.3.1).
+    pub(crate) last_activity: Nanos,
+}
+
+impl RegularLimiter {
+    pub(crate) fn new(cfg: &Config, now: Nanos) -> Self {
+        let aimd = AimdState::new(cfg, now);
+        RegularLimiter {
+            bucket: LeakyBucket::new(now, aimd.rate(), cfg.max_limiter_delay),
+            aimd,
+            last_activity: now,
+        }
+    }
+
+    /// Current rate limit in bits per second.
+    pub fn rate(&self) -> u64 {
+        self.aimd.rate()
+    }
+}
+
+/// Counters exposed for benchmarking and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Packets forwarded on the regular channel.
+    pub regular_forwarded: u64,
+    /// Packets queued by a rate limiter.
+    pub regular_queued: u64,
+    /// Packets dropped by a rate limiter.
+    pub regular_dropped: u64,
+    /// Request packets forwarded.
+    pub request_forwarded: u64,
+    /// Request packets dropped by the request limiter.
+    pub request_dropped: u64,
+    /// Regular packets demoted to requests because their feedback did not
+    /// validate.
+    pub invalid_feedback: u64,
+}
+
+/// The access router core.
+#[derive(Debug)]
+pub struct AccessRouter {
+    pub(crate) cfg: Config,
+    /// This router's AS.
+    my_as: AsId,
+    /// The periodically-changing secret `Ka`.
+    pub(crate) ka: TimeVaryingSecret,
+    /// Pairwise keys shared with other ASes (needed to validate `L↓`).
+    pub(crate) as_keys: AsKeyTable,
+    /// IP-to-AS mapping for bottleneck link identifiers (§4.4 uses an
+    /// IP-to-AS mapping tool; the simulator installs the mapping when it
+    /// builds the topology).
+    pub(crate) link_as: HashMap<LinkId, AsId>,
+    /// Per-sender request limiters.
+    request_limiters: HashMap<HostId, RequestLimiter>,
+    /// Per-(sender, bottleneck link) regular rate limiters.
+    pub(crate) limiters: HashMap<LimiterKey, RegularLimiter>,
+    /// Per-sender request token refill multipliers (servers may be given
+    /// more, §4.2).
+    request_multipliers: HashMap<HostId, f64>,
+    /// Counters.
+    stats: AccessStats,
+}
+
+impl AccessRouter {
+    /// Create an access router for AS `my_as` with secret root key
+    /// `ka_root` and the pairwise AS key table `as_keys`.
+    pub fn new(cfg: Config, my_as: AsId, ka_root: [u8; 16], as_keys: AsKeyTable) -> Self {
+        AccessRouter {
+            cfg,
+            my_as,
+            ka: TimeVaryingSecret::new(ka_root),
+            as_keys,
+            link_as: HashMap::new(),
+            request_limiters: HashMap::new(),
+            limiters: HashMap::new(),
+            request_multipliers: HashMap::new(),
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// This router's AS.
+    pub fn my_as(&self) -> AsId {
+        self.my_as
+    }
+
+    /// Register the AS that owns a (potential bottleneck) link, so `L↓`
+    /// feedback referencing it can be validated.
+    pub fn register_link_as(&mut self, link: LinkId, as_id: AsId) {
+        self.link_as.insert(link, as_id);
+    }
+
+    /// Give a host a larger request-token refill rate (e.g. a busy server).
+    pub fn set_request_multiplier(&mut self, host: HostId, multiplier: f64) {
+        self.request_multipliers.insert(host, multiplier);
+    }
+
+    /// The current counters.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Number of live per-(sender, bottleneck) rate limiters.
+    pub fn limiter_count(&self) -> usize {
+        self.limiters.len()
+    }
+
+    /// The current rate limit of a limiter, if it exists.
+    pub fn rate_limit(&self, src: HostId, link: LinkId) -> Option<u64> {
+        self.limiters.get(&LimiterKey { src, link }).map(|l| l.rate())
+    }
+
+    /// Access the limiter table (used by the multi-bottleneck extension and
+    /// experiments).
+    pub fn limiters(&self) -> &HashMap<LimiterKey, RegularLimiter> {
+        &self.limiters
+    }
+
+    /// Validate the feedback a sender presented (§4.4 "Validating
+    /// feedback").
+    fn validate_presented(
+        &mut self,
+        now: Nanos,
+        flow: FlowPair,
+        fb: &Feedback,
+    ) -> Result<(), FeedbackError> {
+        let ka = &mut self.ka;
+        let as_keys = &self.as_keys;
+        let link_as = &self.link_as;
+        feedback::validate(
+            fb,
+            ka,
+            |l| link_as.get(&l).and_then(|a| as_keys.get(a.0)),
+            now,
+            flow,
+            self.cfg.feedback_expiry,
+        )
+    }
+
+    /// Police an outbound packet from a local sender and re-stamp its
+    /// feedback (Figure 18 `rate_limit_packet` + `update_packet`).
+    ///
+    /// `wire_bytes` is the total packet length used for rate accounting.
+    /// The header is mutated in place: its presented feedback is replaced
+    /// with the fresh feedback that will travel with the packet.
+    pub fn process_outbound(
+        &mut self,
+        now: Nanos,
+        flow: FlowPair,
+        header: &mut NetFenceHeader,
+        wire_bytes: usize,
+    ) -> AccessVerdict {
+        let treat_as_request = match header.kind {
+            PacketKind::Request => true,
+            PacketKind::Regular => {
+                match self.validate_presented(now, flow, &header.presented) {
+                    Ok(()) => false,
+                    Err(_) => {
+                        self.stats.invalid_feedback += 1;
+                        true
+                    }
+                }
+            }
+        };
+
+        if treat_as_request {
+            return self.process_request(now, flow, header);
+        }
+
+        match header.presented {
+            Feedback::Nop { .. } => {
+                // No downstream link needs policing: refresh the nop
+                // feedback (new timestamp + MAC) and forward.
+                header.presented = feedback::stamp_nop(&mut self.ka, now, flow);
+                self.stats.regular_forwarded += 1;
+                AccessVerdict::Forward { channel: Channel::Regular }
+            }
+            Feedback::Mon { link, .. } => {
+                let key = LimiterKey { src: flow.src, link };
+                let cfg = &self.cfg;
+                let limiter = self
+                    .limiters
+                    .entry(key)
+                    .or_insert_with(|| RegularLimiter::new(cfg, now));
+                limiter.aimd.observe(&header.presented);
+                if header.presented.is_decr() {
+                    limiter.last_activity = now;
+                }
+                let verdict = limiter.bucket.offer(now, wire_bytes);
+                if verdict == BucketVerdict::Drop {
+                    limiter.last_activity = now;
+                }
+                // Reset the feedback to L↑ regardless of the old action
+                // (§4.3.3): the bottleneck only rewrites it if it is
+                // actually overloaded.
+                header.presented = feedback::stamp_incr(&mut self.ka, now, flow, link);
+                match verdict {
+                    BucketVerdict::Pass => {
+                        self.stats.regular_forwarded += 1;
+                        AccessVerdict::Forward { channel: Channel::Regular }
+                    }
+                    BucketVerdict::Queued { release_at } => {
+                        self.stats.regular_queued += 1;
+                        AccessVerdict::Queued { release_at }
+                    }
+                    BucketVerdict::Drop => {
+                        self.stats.regular_dropped += 1;
+                        AccessVerdict::Drop(DropReason::RegularRateLimited)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Police a request packet (or a regular packet demoted because of
+    /// invalid feedback).
+    fn process_request(
+        &mut self,
+        now: Nanos,
+        flow: FlowPair,
+        header: &mut NetFenceHeader,
+    ) -> AccessVerdict {
+        let multiplier = self.request_multipliers.get(&flow.src).copied().unwrap_or(1.0);
+        let cfg = &self.cfg;
+        let limiter = self
+            .request_limiters
+            .entry(flow.src)
+            .or_insert_with(|| RequestLimiter::new(cfg, now, multiplier));
+        match limiter.offer(now, header.priority) {
+            RequestVerdict::Drop => {
+                self.stats.request_dropped += 1;
+                AccessVerdict::Drop(DropReason::RequestRateLimited)
+            }
+            RequestVerdict::Pass => {
+                header.kind = PacketKind::Request;
+                header.presented = feedback::stamp_nop(&mut self.ka, now, flow);
+                self.stats.request_forwarded += 1;
+                AccessVerdict::Forward { channel: Channel::Request }
+            }
+        }
+    }
+
+    /// Notify the router that a previously queued packet was released by the
+    /// caller (keeps the leaky bucket's queue depth accurate).
+    pub fn packet_released(&mut self, src: HostId, link: LinkId) {
+        if let Some(l) = self.limiters.get_mut(&LimiterKey { src, link }) {
+            l.bucket.released();
+        }
+    }
+
+    /// Drive periodic work: AIMD adjustment at the end of each control
+    /// interval and `Ta` garbage collection. Returns the adjustments made
+    /// (for metrics/experiments).
+    pub fn tick(&mut self, now: Nanos) -> Vec<(LimiterKey, Adjustment)> {
+        let mut adjustments = Vec::new();
+        for (key, lim) in self.limiters.iter_mut() {
+            if lim.aimd.interval_elapsed(now, &self.cfg) {
+                let tput = lim.bucket.throughput(now);
+                let decision = lim.aimd.adjust(now, tput, &self.cfg);
+                lim.bucket.set_rate(now, lim.aimd.rate());
+                lim.bucket.reset_window(now);
+                adjustments.push((*key, decision));
+            }
+        }
+        // Reclaim limiters idle for Ta: no L↓ seen and no packet discarded.
+        let ta = self.cfg.ta;
+        self.limiters
+            .retain(|_, lim| now.saturating_sub(lim.last_activity) < ta || lim.bucket.queued_pkts() > 0);
+        adjustments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SEC;
+    use netfence_crypto::{full_mesh_exchange, AsKeyAgent, Cmac};
+
+    const PKT: usize = 1500;
+
+    struct World {
+        access: AccessRouter,
+        bottleneck_kai: Cmac,
+        flow: FlowPair,
+    }
+
+    /// Build an access router for AS 1 and the CMAC a bottleneck in AS 2
+    /// would use to stamp L↓ toward AS 1 senders.
+    fn world() -> World {
+        let agents = vec![AsKeyAgent::new(1, 1111), AsKeyAgent::new(2, 2222)];
+        let mut tables = full_mesh_exchange(&agents);
+        let t1 = tables.remove(0);
+        let t2 = tables.remove(0);
+        let mut access = AccessRouter::new(Config::default(), AsId(1), [7; 16], t1);
+        access.register_link_as(LinkId(99), AsId(2));
+        let bottleneck_kai = t2.get(1).unwrap().clone();
+        World {
+            access,
+            bottleneck_kai,
+            flow: FlowPair::new(HostId(10), HostId(20)),
+        }
+    }
+
+    fn request_header() -> NetFenceHeader {
+        NetFenceHeader::request(6, 1, Feedback::Nop { ts: 0, token: 0 })
+    }
+
+    #[test]
+    fn request_packet_gets_nop_stamp() {
+        let mut w = world();
+        let mut h = request_header();
+        let v = w.access.process_outbound(SEC, w.flow, &mut h, 92);
+        assert_eq!(v, AccessVerdict::Forward { channel: Channel::Request });
+        assert!(h.presented.is_nop());
+        assert_eq!(h.presented.ts(), 1);
+        assert_eq!(w.access.stats().request_forwarded, 1);
+    }
+
+    #[test]
+    fn nop_regular_packet_is_not_rate_limited() {
+        let mut w = world();
+        // Step 1: get nop feedback via a request packet.
+        let mut h = request_header();
+        w.access.process_outbound(SEC, w.flow, &mut h, 92);
+        let echoed = h.presented;
+        // Step 2: present it in a regular packet — no limiter is created.
+        for i in 0..50 {
+            let mut h = NetFenceHeader::regular(6, echoed, None);
+            let v = w.access.process_outbound(SEC + i, w.flow, &mut h, PKT);
+            assert_eq!(v, AccessVerdict::Forward { channel: Channel::Regular });
+        }
+        assert_eq!(w.access.limiter_count(), 0);
+    }
+
+    #[test]
+    fn forged_feedback_is_demoted_to_request() {
+        let mut w = world();
+        let forged = Feedback::Nop { ts: 1, token: 0xbadbad };
+        let mut h = NetFenceHeader::regular(6, forged, None);
+        let v = w.access.process_outbound(SEC, w.flow, &mut h, PKT);
+        // Priority 0 request: forwarded but on the request channel with
+        // lowest priority.
+        assert_eq!(v, AccessVerdict::Forward { channel: Channel::Request });
+        assert_eq!(h.kind, PacketKind::Request);
+        assert_eq!(w.access.stats().invalid_feedback, 1);
+    }
+
+    #[test]
+    fn decr_feedback_instantiates_rate_limiter_and_polices() {
+        let mut w = world();
+        // Obtain valid nop, convert to L↓ as a bottleneck in AS 2 would.
+        let mut h = request_header();
+        w.access.process_outbound(SEC, w.flow, &mut h, 92);
+        let decr =
+            feedback::stamp_decr(&w.bottleneck_kai, w.flow, LinkId(99), &h.presented).unwrap();
+
+        // Present the L↓: a limiter (src, 99) is created, the packet goes
+        // through it, and the outgoing feedback is reset to L↑.
+        let mut sent = 0;
+        let mut dropped = 0;
+        for i in 0..100 {
+            let mut h2 = NetFenceHeader::regular(6, decr, None);
+            match w.access.process_outbound(SEC + i, w.flow, &mut h2, PKT) {
+                AccessVerdict::Forward { .. } | AccessVerdict::Queued { .. } => {
+                    sent += 1;
+                    assert!(h2.presented.is_incr());
+                    assert_eq!(h2.presented.link(), Some(LinkId(99)));
+                }
+                AccessVerdict::Drop(DropReason::RegularRateLimited) => dropped += 1,
+                v => panic!("unexpected verdict {v:?}"),
+            }
+        }
+        assert_eq!(w.access.limiter_count(), 1);
+        assert!(w.access.rate_limit(w.flow.src, LinkId(99)).is_some());
+        // A 100-packet burst far exceeds 200 kbps * 1 s of queueing: most of
+        // it must be dropped.
+        assert!(dropped > 50, "dropped {dropped}, sent {sent}");
+    }
+
+    #[test]
+    fn aimd_decreases_without_fresh_incr_and_increases_with_it() {
+        let mut w = world();
+        let mut h = request_header();
+        w.access.process_outbound(SEC, w.flow, &mut h, 92);
+        let decr =
+            feedback::stamp_decr(&w.bottleneck_kai, w.flow, LinkId(99), &h.presented).unwrap();
+        let mut h2 = NetFenceHeader::regular(6, decr, None);
+        w.access.process_outbound(SEC, w.flow, &mut h2, PKT);
+        let r0 = w.access.rate_limit(w.flow.src, LinkId(99)).unwrap();
+
+        // End of first control interval: only L↓ was seen → decrease.
+        let adjustments = w.access.tick(4 * SEC);
+        assert_eq!(adjustments.len(), 1);
+        assert_eq!(adjustments[0].1, Adjustment::Decreased);
+        let r1 = w.access.rate_limit(w.flow.src, LinkId(99)).unwrap();
+        assert!(r1 < r0);
+
+        // Now the sender echoes the freshest feedback it has (as a real
+        // receiver/sender pair would) and keeps the limiter busy.
+        let now = 5 * SEC;
+        let mut current = h2.presented; // L↑ stamped by process_outbound above
+        assert!(current.is_incr());
+        let mut offered = 0usize;
+        for i in 0..60 {
+            let mut h3 = NetFenceHeader::regular(6, current, None);
+            let t = now + i * 60 * crate::types::MILLI;
+            if !matches!(
+                w.access.process_outbound(t, w.flow, &mut h3, PKT),
+                AccessVerdict::Drop(_)
+            ) {
+                offered += 1;
+                current = h3.presented;
+            }
+        }
+        assert!(offered > 10);
+        let adjustments = w.access.tick(9 * SEC);
+        assert_eq!(adjustments[0].1, Adjustment::Increased);
+        let r2 = w.access.rate_limit(w.flow.src, LinkId(99)).unwrap();
+        assert_eq!(r2, r1 + Config::default().additive_increase);
+    }
+
+    #[test]
+    fn hiding_decr_still_decreases() {
+        // A malicious sender that got L↓ but keeps presenting stale nop
+        // feedback: its packets are demoted to requests once the feedback
+        // expires, and the limiter (created when it did present L↓ once)
+        // keeps decreasing because no fresh L↑ arrives.
+        let mut w = world();
+        let mut h = request_header();
+        w.access.process_outbound(SEC, w.flow, &mut h, 92);
+        let decr =
+            feedback::stamp_decr(&w.bottleneck_kai, w.flow, LinkId(99), &h.presented).unwrap();
+        let mut h2 = NetFenceHeader::regular(6, decr, None);
+        w.access.process_outbound(SEC, w.flow, &mut h2, PKT);
+        let r0 = w.access.rate_limit(w.flow.src, LinkId(99)).unwrap();
+        for k in 1..4u64 {
+            w.access.tick(SEC + k * 2 * SEC);
+        }
+        let r1 = w.access.rate_limit(w.flow.src, LinkId(99)).unwrap();
+        assert!(r1 < r0, "hiding L↓ must not prevent decreases ({r0} -> {r1})");
+    }
+
+    #[test]
+    fn request_flood_is_rate_limited_per_sender() {
+        let mut w = world();
+        let mut passed = 0;
+        for i in 0..1000 {
+            let mut h = NetFenceHeader::request(17, 8, Feedback::Nop { ts: 0, token: 0 });
+            // 1000 level-8 requests (128 tokens each) in 10 ms: only the
+            // bucket depth (4096 tokens = 32 packets) passes.
+            if matches!(
+                w.access.process_outbound(SEC + i * 10_000, w.flow, &mut h, 92),
+                AccessVerdict::Forward { .. }
+            ) {
+                passed += 1;
+            }
+        }
+        assert!(passed <= 40, "request flood mostly dropped, passed {passed}");
+        assert!(w.access.stats().request_dropped > 900);
+    }
+
+    #[test]
+    fn idle_limiters_are_garbage_collected_after_ta() {
+        let mut cfg = Config::short_timers();
+        cfg.ta = 10 * SEC;
+        let agents = vec![AsKeyAgent::new(1, 1111), AsKeyAgent::new(2, 2222)];
+        let mut tables = full_mesh_exchange(&agents);
+        let t1 = tables.remove(0);
+        let t2 = tables.remove(0);
+        let mut access = AccessRouter::new(cfg, AsId(1), [7; 16], t1);
+        access.register_link_as(LinkId(99), AsId(2));
+        let flow = FlowPair::new(HostId(10), HostId(20));
+
+        let mut h = NetFenceHeader::request(6, 1, Feedback::Nop { ts: 0, token: 0 });
+        access.process_outbound(SEC, flow, &mut h, 92);
+        let decr = feedback::stamp_decr(t2.get(1).unwrap(), flow, LinkId(99), &h.presented).unwrap();
+        let mut h2 = NetFenceHeader::regular(6, decr, None);
+        if let AccessVerdict::Queued { .. } = access.process_outbound(SEC, flow, &mut h2, PKT) {
+            access.packet_released(flow.src, LinkId(99));
+        }
+        assert_eq!(access.limiter_count(), 1);
+        // 5 s later it is still there; 20 s later (beyond Ta) it is gone.
+        access.tick(6 * SEC);
+        assert_eq!(access.limiter_count(), 1);
+        access.tick(21 * SEC);
+        assert_eq!(access.limiter_count(), 0);
+    }
+
+    #[test]
+    fn feedback_from_another_sender_is_rejected() {
+        let mut w = world();
+        let mut h = request_header();
+        w.access.process_outbound(SEC, w.flow, &mut h, 92);
+        let stolen = h.presented;
+        // Another sender (host 11) tries to use host 10's feedback.
+        let thief = FlowPair::new(HostId(11), HostId(20));
+        let mut h2 = NetFenceHeader::regular(6, stolen, None);
+        let v = w.access.process_outbound(SEC, thief, &mut h2, PKT);
+        assert_eq!(v, AccessVerdict::Forward { channel: Channel::Request });
+        assert_eq!(w.access.stats().invalid_feedback, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-AS damage localization at bottleneck routers (§4.5).
+//!
+//! Access routers are the enforcement point of NetFence; if one is
+//! compromised, the hosts behind it (or the router itself) can flood
+//! without being policed. NetFence confines the damage to the compromised
+//! AS: when congestion persists *after* a monitoring cycle has started — a
+//! signal that some access routers are not doing their job — a bottleneck
+//! router separates traffic by source AS. The paper describes two
+//! mechanisms and notes a third:
+//!
+//! * **per-AS queues / per-AS rate limits** set to each AS's max-min fair
+//!   share of the congested link (≈35 K ASes on today's Internet, so the
+//!   state is affordable);
+//! * **heavy-hitter detection** (RED-PD style): only ASes that keep sending
+//!   above their share are throttled — legitimate ASes keep reducing their
+//!   senders' traffic in response to `L↓`, so persistent heavy hitters are
+//!   the compromised ones.
+//!
+//! Both modes are implemented here behind one type, [`AsPolicer`]. Source
+//! ASes are identified via Passport ([`crate::passport`]), so they cannot be
+//! spoofed.
+
+use std::collections::HashMap;
+
+use crate::types::{AsId, Bps, Nanos, SEC};
+
+/// Which localization mechanism to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsPolicingMode {
+    /// Enforce each AS's max-min fair share with a per-AS rate limit.
+    FairShare,
+    /// RED-PD-style heavy-hitter detection: only ASes sending more than
+    /// `factor ×` their fair share are throttled (to their fair share).
+    HeavyHitter {
+        /// Multiple of the fair share above which an AS is considered a
+        /// heavy hitter (RED-PD uses a small constant; 1.5 is typical).
+        factor_x100: u32,
+    },
+}
+
+/// Per-AS accounting state.
+#[derive(Debug, Clone, Default)]
+struct AsState {
+    /// Bytes observed in the current measurement interval.
+    bytes: u64,
+    /// EWMA of the AS's arrival rate in bits per second.
+    ewma_rate: f64,
+    /// Rate limit currently applied to the AS (None = unlimited).
+    limit: Option<Bps>,
+    /// Leaky-bucket credit in bits for enforcing `limit`.
+    credit_bits: f64,
+    /// Last time the credit was updated.
+    last_credit_update: Nanos,
+    /// Packets dropped by the policer for this AS.
+    dropped: u64,
+}
+
+/// The per-AS policer attached to a congested link.
+#[derive(Debug)]
+pub struct AsPolicer {
+    mode: AsPolicingMode,
+    /// Capacity of the protected link, bits per second.
+    capacity: Bps,
+    /// Measurement/evaluation interval.
+    interval: Nanos,
+    /// Last evaluation time.
+    last_eval: Nanos,
+    /// EWMA weight for per-AS rates.
+    ewma_weight: f64,
+    per_as: HashMap<AsId, AsState>,
+}
+
+impl AsPolicer {
+    /// Create a policer for a link of the given capacity.
+    pub fn new(mode: AsPolicingMode, capacity: Bps, now: Nanos) -> Self {
+        AsPolicer {
+            mode,
+            capacity,
+            interval: SEC,
+            last_eval: now,
+            ewma_weight: 0.3,
+            per_as: HashMap::new(),
+        }
+    }
+
+    /// Number of ASes currently tracked (the paper's scalability argument:
+    /// this is bounded by the number of ASes, not hosts).
+    pub fn tracked_ases(&self) -> usize {
+        self.per_as.len()
+    }
+
+    /// The rate limit currently applied to an AS, if any.
+    pub fn limit_of(&self, as_id: AsId) -> Option<Bps> {
+        self.per_as.get(&as_id).and_then(|s| s.limit)
+    }
+
+    /// Packets dropped for an AS so far.
+    pub fn dropped_of(&self, as_id: AsId) -> u64 {
+        self.per_as.get(&as_id).map(|s| s.dropped).unwrap_or(0)
+    }
+
+    /// Offer a packet from `src_as`; returns `true` if it may be forwarded.
+    ///
+    /// Also records the packet for rate estimation. Must be called for every
+    /// regular packet arriving at the protected link while localization is
+    /// active.
+    pub fn admit(&mut self, now: Nanos, src_as: AsId, bytes: usize) -> bool {
+        self.maybe_evaluate(now);
+        let st = self.per_as.entry(src_as).or_default();
+        st.bytes += bytes as u64;
+        let Some(limit) = st.limit else { return true };
+        // Leaky-bucket enforcement of the per-AS limit.
+        let elapsed = now.saturating_sub(st.last_credit_update);
+        st.last_credit_update = now;
+        let burst_bits = 2.0 * 1500.0 * 8.0 + limit as f64 * 0.1; // ~100 ms of burst
+        st.credit_bits = (st.credit_bits + elapsed as f64 / SEC as f64 * limit as f64)
+            .min(burst_bits.max(limit as f64 * self.interval as f64 / SEC as f64 * 0.25));
+        let need = bytes as f64 * 8.0;
+        if st.credit_bits >= need {
+            st.credit_bits -= need;
+            true
+        } else {
+            st.dropped += 1;
+            false
+        }
+    }
+
+    /// Re-compute per-AS limits when the measurement interval has elapsed.
+    fn maybe_evaluate(&mut self, now: Nanos) {
+        if now.saturating_sub(self.last_eval) < self.interval {
+            return;
+        }
+        let elapsed = now - self.last_eval;
+        self.last_eval = now;
+        let w = self.ewma_weight;
+        for st in self.per_as.values_mut() {
+            let inst = st.bytes as f64 * 8.0 * SEC as f64 / elapsed as f64;
+            st.ewma_rate = st.ewma_rate * (1.0 - w) + inst * w;
+            st.bytes = 0;
+        }
+        // Active ASes contend for the capacity; each gets an equal share
+        // (a single round of max-min since all demands here exceed their
+        // shares during an attack).
+        let active: Vec<AsId> = self
+            .per_as
+            .iter()
+            .filter(|(_, s)| s.ewma_rate > 1_000.0)
+            .map(|(a, _)| *a)
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        let fair_share = self.capacity as f64 / active.len() as f64;
+        for (as_id, st) in self.per_as.iter_mut() {
+            if !active.contains(as_id) {
+                st.limit = None;
+                continue;
+            }
+            match self.mode {
+                AsPolicingMode::FairShare => {
+                    st.limit = Some(fair_share as Bps);
+                }
+                AsPolicingMode::HeavyHitter { factor_x100 } => {
+                    let threshold = fair_share * factor_x100 as f64 / 100.0;
+                    if st.ewma_rate > threshold {
+                        st.limit = Some(fair_share as Bps);
+                    } else {
+                        st.limit = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MILLI;
+
+    /// Drive `seconds` of traffic: `rates` maps an AS to its sending rate in
+    /// bps (1500 B packets). Returns delivered bits per AS.
+    fn run(policer: &mut AsPolicer, rates: &[(AsId, Bps)], seconds: u64) -> HashMap<AsId, u64> {
+        let mut delivered: HashMap<AsId, u64> = HashMap::new();
+        let mut sent: HashMap<AsId, u64> = HashMap::new();
+        let pkt_bits: u64 = 1500 * 8;
+        // Generate each AS's constant-rate packet arrivals in millisecond
+        // steps.
+        for ms in 0..seconds * 1000 {
+            let now = ms * MILLI;
+            for (as_id, rate) in rates {
+                // Number of packets this AS should have sent by `now`.
+                let due = rate * ms / 1000 / pkt_bits;
+                let s = sent.entry(*as_id).or_insert(0);
+                while *s < due {
+                    if policer.admit(now, *as_id, 1500) {
+                        *delivered.entry(*as_id).or_insert(0) += pkt_bits;
+                    }
+                    *s += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn unlimited_until_evaluation() {
+        let mut p = AsPolicer::new(AsPolicingMode::FairShare, 10_000_000, 0);
+        assert!(p.admit(0, AsId(1), 1500));
+        assert_eq!(p.limit_of(AsId(1)), None);
+    }
+
+    #[test]
+    fn fair_share_mode_limits_every_active_as() {
+        let mut p = AsPolicer::new(AsPolicingMode::FairShare, 10_000_000, 0);
+        // Two ASes: one floods at 20 Mbps, one sends 2 Mbps.
+        let delivered = run(
+            &mut p,
+            &[(AsId(1), 20_000_000), (AsId(2), 2_000_000)],
+            10,
+        );
+        assert_eq!(p.tracked_ases(), 2);
+        assert!(p.limit_of(AsId(1)).is_some());
+        // The flooder is confined to roughly its 5 Mbps fair share.
+        let flooder_rate = delivered[&AsId(1)] as f64 / 10.0;
+        assert!(flooder_rate < 7_000_000.0, "flooder got {flooder_rate} bps");
+        // The modest AS keeps (most of) its traffic.
+        let modest_rate = delivered[&AsId(2)] as f64 / 10.0;
+        assert!(modest_rate > 1_500_000.0, "modest AS got {modest_rate} bps");
+    }
+
+    #[test]
+    fn heavy_hitter_mode_only_throttles_the_flooder() {
+        let mut p =
+            AsPolicer::new(AsPolicingMode::HeavyHitter { factor_x100: 150 }, 10_000_000, 0);
+        let delivered = run(
+            &mut p,
+            &[(AsId(1), 20_000_000), (AsId(2), 2_000_000)],
+            10,
+        );
+        // The compromised AS is detected and limited...
+        assert!(p.limit_of(AsId(1)).is_some(), "flooding AS must be detected as a heavy hitter");
+        // ...while the well-behaved AS is left alone entirely.
+        assert_eq!(p.limit_of(AsId(2)), None);
+        assert_eq!(p.dropped_of(AsId(2)), 0);
+        let modest_rate = delivered[&AsId(2)] as f64 / 10.0;
+        assert!(modest_rate > 1_800_000.0);
+    }
+
+    #[test]
+    fn state_is_per_as_not_per_host() {
+        // The scalability claim of §5.1: policing state grows with the
+        // number of ASes, regardless of how many hosts send.
+        let mut p = AsPolicer::new(AsPolicingMode::FairShare, 10_000_000, 0);
+        for host in 0..10_000u64 {
+            let as_id = AsId((host % 7) as u32);
+            p.admit(host * MILLI, as_id, 1500);
+        }
+        assert_eq!(p.tracked_ases(), 7);
+    }
+}

@@ -1,0 +1,324 @@
+//! End-host shim logic: how senders choose between request and regular
+//! packets, how receivers echo feedback, and the priority back-off rule for
+//! request packets (§3.1, §4.2, §4.3.4).
+//!
+//! The shim sits between IP and TCP/UDP on NetFence-ready hosts (§6.2). It
+//! is deliberately untrusted: everything here can be ignored or subverted by
+//! a malicious host without breaking the NetFence guarantees — the access
+//! router enforces policing, the shim merely makes legitimate hosts behave
+//! efficiently.
+
+use std::collections::HashMap;
+
+use crate::config::Config;
+use crate::feedback::Feedback;
+use crate::header::NetFenceHeader;
+use crate::types::{HostId, Nanos, SEC};
+
+/// Per-destination sender state: which feedback to present next.
+#[derive(Debug, Clone, Default)]
+struct PerDestination {
+    /// The freshest `L↑` or `nop` feedback received back from the receiver.
+    best_incr: Option<Feedback>,
+    /// The freshest feedback of any kind received back from the receiver.
+    latest: Option<Feedback>,
+    /// When the sender first started (re)requesting without valid feedback —
+    /// drives the priority back-off of §4.2.
+    requesting_since: Option<Nanos>,
+}
+
+/// Sender-side shim: tracks returned feedback per destination and builds
+/// NetFence headers for outgoing packets.
+#[derive(Debug, Default)]
+pub struct SenderShim {
+    dests: HashMap<HostId, PerDestination>,
+}
+
+impl SenderShim {
+    /// Create an empty shim.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record feedback returned by the receiver `dst` (piggybacked in the
+    /// echoed-feedback field of a packet from `dst`, or carried by a
+    /// dedicated feedback packet for one-way transports).
+    pub fn feedback_returned(&mut self, dst: HostId, fb: Feedback) {
+        let entry = self.dests.entry(dst).or_default();
+        let newer = |old: &Option<Feedback>| old.map_or(true, |o| fb.ts() >= o.ts());
+        if newer(&entry.latest) {
+            entry.latest = Some(fb);
+        }
+        if (fb.is_incr() || fb.is_nop()) && newer(&entry.best_incr) {
+            entry.best_incr = Some(fb);
+        }
+        entry.requesting_since = None;
+    }
+
+    /// The feedback the sender will present for its next packet to `dst`,
+    /// following §4.3.4: always present un-expired `L↑` (or `nop`) feedback
+    /// if available — even if newer `L↓` feedback exists — otherwise the
+    /// newest feedback of any kind. Returns `None` when nothing un-expired
+    /// is held (a request packet must be sent).
+    pub fn presentable_feedback(&self, now: Nanos, dst: HostId, cfg: &Config) -> Option<Feedback> {
+        let entry = self.dests.get(&dst)?;
+        let fresh = |fb: &Option<Feedback>| {
+            fb.filter(|f| !f.is_expired(now, cfg.feedback_expiry))
+        };
+        fresh(&entry.best_incr).or_else(|| fresh(&entry.latest))
+    }
+
+    /// The priority level the sender should use for a request packet to
+    /// `dst`, based on how long it has been waiting without valid feedback
+    /// (§4.2: the waiting time sets the priority; after a 1 s back-off a
+    /// default host can afford level 10).
+    pub fn request_priority(&mut self, now: Nanos, dst: HostId, cfg: &Config) -> u8 {
+        let entry = self.dests.entry(dst).or_default();
+        let since = *entry.requesting_since.get_or_insert(now);
+        let waited = now.saturating_sub(since);
+        // The access router's token bucket can hold at most
+        // `request_bucket_depth` tokens, so asking for a level the bucket
+        // can never afford would get the request dropped at the access
+        // router forever.
+        let tokens = (waited as f64 / SEC as f64 * cfg.request_tokens_per_sec())
+            .min(cfg.request_bucket_depth);
+        let mut level = 0u8;
+        while level < cfg.max_request_priority
+            && crate::request_limiter::RequestLimiter::cost(level + 1) <= tokens
+        {
+            level += 1;
+        }
+        level
+    }
+
+    /// Build the NetFence header for the next packet to `dst`.
+    ///
+    /// Returns a regular header presenting held feedback when possible, or a
+    /// request header at the appropriate back-off priority otherwise.
+    /// `echo` is the feedback to piggyback for the reverse direction (from
+    /// [`ReceiverShim::echo_for`]).
+    pub fn make_header(
+        &mut self,
+        now: Nanos,
+        dst: HostId,
+        proto: u8,
+        echo: Option<Feedback>,
+        cfg: &Config,
+    ) -> NetFenceHeader {
+        match self.presentable_feedback(now, dst, cfg) {
+            Some(fb) => NetFenceHeader::regular(proto, fb, echo),
+            None => {
+                let priority = self.request_priority(now, dst, cfg);
+                let mut h = NetFenceHeader::request(
+                    proto,
+                    priority,
+                    Feedback::Nop { ts: (now / SEC) as u32, token: 0 },
+                );
+                h.echoed = echo;
+                h
+            }
+        }
+    }
+
+    /// Whether the sender currently holds presentable feedback for `dst`.
+    pub fn has_feedback(&self, now: Nanos, dst: HostId, cfg: &Config) -> bool {
+        self.presentable_feedback(now, dst, cfg).is_some()
+    }
+}
+
+/// How a receiver treats a given sender (§3.3: congestion feedback as
+/// capability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverPolicy {
+    /// Echo feedback back to the sender (normal operation, and what a
+    /// colluding receiver does for its attackers).
+    Echo,
+    /// Never return feedback: the sender is unwanted and can at most send
+    /// strictly rate-limited request packets.
+    Suppress,
+}
+
+/// Receiver-side shim: remembers the latest feedback observed from each
+/// sender and decides whether to echo it.
+#[derive(Debug, Default)]
+pub struct ReceiverShim {
+    latest: HashMap<HostId, Feedback>,
+    policies: HashMap<HostId, ReceiverPolicy>,
+    default_policy: ReceiverPolicy,
+}
+
+impl Default for ReceiverPolicy {
+    fn default() -> Self {
+        ReceiverPolicy::Echo
+    }
+}
+
+impl ReceiverShim {
+    /// Create a receiver shim that echoes feedback to everyone by default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a receiver that suppresses feedback by default (a victim that
+    /// whitelists known-good senders).
+    pub fn deny_by_default() -> Self {
+        ReceiverShim { default_policy: ReceiverPolicy::Suppress, ..Default::default() }
+    }
+
+    /// Set the policy for a specific sender (e.g. classify it as attack
+    /// traffic and suppress it).
+    pub fn set_policy(&mut self, sender: HostId, policy: ReceiverPolicy) {
+        self.policies.insert(sender, policy);
+    }
+
+    /// The policy applied to `sender`.
+    pub fn policy(&self, sender: HostId) -> ReceiverPolicy {
+        self.policies.get(&sender).copied().unwrap_or(self.default_policy)
+    }
+
+    /// Record the presented feedback of a packet received from `sender`.
+    pub fn packet_received(&mut self, sender: HostId, presented: Feedback) {
+        let newer = self
+            .latest
+            .get(&sender)
+            .map_or(true, |old| presented.ts() >= old.ts() || presented.is_decr());
+        if newer {
+            self.latest.insert(sender, presented);
+        }
+    }
+
+    /// The feedback to echo back to `sender`, if policy allows.
+    pub fn echo_for(&self, sender: HostId) -> Option<Feedback> {
+        if self.policy(sender) == ReceiverPolicy::Suppress {
+            return None;
+        }
+        self.latest.get(&sender).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::Action;
+    use crate::header::PacketKind;
+    use crate::types::LinkId;
+
+    fn nop(ts: u32) -> Feedback {
+        Feedback::Nop { ts, token: 1 }
+    }
+    fn incr(ts: u32) -> Feedback {
+        Feedback::Mon { link: LinkId(7), action: Action::Incr, ts, token: 2, token_nop: Some(3) }
+    }
+    fn decr(ts: u32) -> Feedback {
+        Feedback::Mon { link: LinkId(7), action: Action::Decr, ts, token: 4, token_nop: None }
+    }
+
+    #[test]
+    fn sender_without_feedback_sends_requests_with_backoff() {
+        let cfg = Config::default();
+        let mut s = SenderShim::new();
+        let dst = HostId(9);
+        let h0 = s.make_header(10 * SEC, dst, 6, None, &cfg);
+        assert_eq!(h0.kind, PacketKind::Request);
+        assert_eq!(h0.priority, 0, "first attempt goes out at the lowest priority");
+        // One second later (the first TCP SYN retransmission in the Figure 8
+        // experiment) the affordable priority is 10.
+        let h1 = s.make_header(11 * SEC, dst, 6, None, &cfg);
+        assert_eq!(h1.kind, PacketKind::Request);
+        assert_eq!(h1.priority, 10);
+        // Even later the priority keeps growing but stays bounded.
+        let h2 = s.make_header(200 * SEC, dst, 6, None, &cfg);
+        assert!(h2.priority <= cfg.max_request_priority);
+    }
+
+    #[test]
+    fn returned_feedback_switches_sender_to_regular_packets() {
+        let cfg = Config::default();
+        let mut s = SenderShim::new();
+        let dst = HostId(9);
+        s.make_header(10 * SEC, dst, 6, None, &cfg);
+        s.feedback_returned(dst, nop(10));
+        let h = s.make_header(11 * SEC, dst, 6, None, &cfg);
+        assert_eq!(h.kind, PacketKind::Regular);
+        assert_eq!(h.presented, nop(10));
+        assert!(s.has_feedback(11 * SEC, dst, &cfg));
+    }
+
+    #[test]
+    fn expired_feedback_forces_new_request_cycle() {
+        let cfg = Config::default();
+        let mut s = SenderShim::new();
+        let dst = HostId(9);
+        s.feedback_returned(dst, nop(10));
+        assert!(s.has_feedback(12 * SEC, dst, &cfg));
+        // w = 4 s: at t = 15 s the feedback is still valid, at 15 s + it is
+        // not.
+        assert!(s.has_feedback(14 * SEC, dst, &cfg));
+        assert!(!s.has_feedback(20 * SEC, dst, &cfg));
+        let h = s.make_header(20 * SEC, dst, 6, None, &cfg);
+        assert_eq!(h.kind, PacketKind::Request);
+        // The back-off clock restarts from the new request.
+        assert_eq!(h.priority, 0);
+    }
+
+    #[test]
+    fn sender_prefers_unexpired_incr_over_newer_decr() {
+        // §4.3.4: a legitimate sender mimics the aggressive strategy and
+        // keeps presenting L↑ while it is fresh, even after receiving L↓.
+        let cfg = Config::default();
+        let mut s = SenderShim::new();
+        let dst = HostId(9);
+        s.feedback_returned(dst, incr(10));
+        s.feedback_returned(dst, decr(11));
+        assert_eq!(s.presentable_feedback(12 * SEC, dst, &cfg), Some(incr(10)));
+        // Once the L↑ expires, the newer L↓ is presented (still within w).
+        assert_eq!(s.presentable_feedback(15 * SEC, dst, &cfg), Some(decr(11)));
+    }
+
+    #[test]
+    fn receiver_echoes_latest_feedback() {
+        let mut r = ReceiverShim::new();
+        let sender = HostId(3);
+        assert_eq!(r.echo_for(sender), None);
+        r.packet_received(sender, nop(5));
+        assert_eq!(r.echo_for(sender), Some(nop(5)));
+        r.packet_received(sender, decr(6));
+        assert_eq!(r.echo_for(sender), Some(decr(6)));
+    }
+
+    #[test]
+    fn victim_suppresses_unwanted_senders() {
+        // §3.3: by returning no feedback the victim turns feedback into a
+        // capability the attacker cannot obtain.
+        let mut r = ReceiverShim::new();
+        let good = HostId(1);
+        let bad = HostId(666);
+        r.set_policy(bad, ReceiverPolicy::Suppress);
+        r.packet_received(good, nop(5));
+        r.packet_received(bad, nop(5));
+        assert_eq!(r.echo_for(good), Some(nop(5)));
+        assert_eq!(r.echo_for(bad), None);
+    }
+
+    #[test]
+    fn deny_by_default_receiver() {
+        let mut r = ReceiverShim::deny_by_default();
+        let known = HostId(1);
+        let unknown = HostId(2);
+        r.set_policy(known, ReceiverPolicy::Echo);
+        r.packet_received(known, nop(5));
+        r.packet_received(unknown, nop(5));
+        assert_eq!(r.echo_for(known), Some(nop(5)));
+        assert_eq!(r.echo_for(unknown), None);
+    }
+
+    #[test]
+    fn header_carries_echoed_feedback() {
+        let cfg = Config::default();
+        let mut s = SenderShim::new();
+        let dst = HostId(9);
+        s.feedback_returned(dst, nop(10));
+        let h = s.make_header(11 * SEC, dst, 6, Some(incr(9)), &cfg);
+        assert_eq!(h.echoed, Some(incr(9)));
+    }
+}

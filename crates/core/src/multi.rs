@@ -1,0 +1,459 @@
+//! Multiple-bottleneck extensions (Appendix B of the paper).
+//!
+//! The core NetFence design polices a regular packet with at most one rate
+//! limiter (§4.3.5); when a flow crosses several `mon`-state links, the idle
+//! limiters' limits decay and the flow can end up below its fair share at
+//! one of the bottlenecks (reproduced in Figure 10). The appendix describes
+//! two improvements, both implemented here:
+//!
+//! * **B.1 — multi-bottleneck feedback in one packet**
+//!   ([`MultiFeedback`]): every on-path bottleneck appends its own
+//!   `(link, action)` pair, protected by one chained MAC; the access router
+//!   passes the packet through *all* the corresponding rate limiters
+//!   ([`crate::access::AccessRouter::process_outbound_multi`]). Reproduced
+//!   as Figure 13.
+//! * **B.2 — rate-limiter inference** ([`InferenceCache`] and
+//!   [`adjust_with_inference`]): the packet still carries one feedback, but
+//!   the access router remembers which bottleneck links appear on the path
+//!   to each destination prefix, polices through all of them, and infers the
+//!   missing feedback (`L↑` for one link implies the others were not
+//!   congested). Reproduced as Figure 14.
+
+use std::collections::{HashMap, HashSet};
+
+use netfence_crypto::{Cmac, Mac32, MacInput, TimeVaryingSecret};
+
+use crate::access::{AccessRouter, AccessVerdict, DropReason};
+use crate::aimd::{Adjustment, AimdState};
+use crate::bottleneck::Channel;
+use crate::config::Config;
+use crate::feedback::Action;
+use crate::regular_limiter::BucketVerdict;
+use crate::types::{nanos_to_secs, FlowPair, HostId, LimiterKey, LinkId, Nanos};
+
+// ---------------------------------------------------------------------------
+// B.1: multi-bottleneck feedback in a single packet
+// ---------------------------------------------------------------------------
+
+/// Feedback from zero or more bottleneck links carried in one NetFence
+/// header (Appendix B.1). All entries share a single timestamp and are
+/// protected by a single chained `token`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiFeedback {
+    /// Stamping time at the access router, seconds.
+    pub ts: u32,
+    /// One `(link, action)` entry per on-path bottleneck, in path order.
+    pub entries: Vec<(LinkId, Action)>,
+    /// The chained MAC: `MAC_Ka(src,dst,ts)` at the access router, then
+    /// `MAC_Kai(src,dst,ts,link,action,previous_token)` at each bottleneck.
+    pub token: Mac32,
+}
+
+fn origin_input(flow: FlowPair, ts: u32) -> MacInput {
+    let mut m = MacInput::new("nf-multi-origin");
+    m.push_u32(flow.src.0).push_u32(flow.dst.0).push_u32(ts);
+    m
+}
+
+fn chain_input(flow: FlowPair, ts: u32, link: LinkId, action: Action, prev: Mac32) -> MacInput {
+    let mut m = MacInput::new("nf-multi-chain");
+    m.push_u32(flow.src.0)
+        .push_u32(flow.dst.0)
+        .push_u32(ts)
+        .push_u32(link.0)
+        .push_u8(matches!(action, Action::Decr) as u8)
+        .push_u32(prev);
+    m
+}
+
+impl MultiFeedback {
+    /// Stamp the origin (nop) multi-feedback at the access router (Eq. 4 of
+    /// Appendix B.1).
+    pub fn origin(ka: &mut TimeVaryingSecret, now: Nanos, flow: FlowPair) -> Self {
+        let ts = nanos_to_secs(now);
+        MultiFeedback { ts, entries: Vec::new(), token: ka.mac32(now, origin_input(flow, ts).as_bytes()) }
+    }
+
+    /// Append a bottleneck's feedback, extending the MAC chain (Eq. 5).
+    /// Existing entries for the same link are replaced only if the new
+    /// action is `Decr` (a link never downgrades its own `L↓`).
+    pub fn append(&mut self, kai: &Cmac, flow: FlowPair, link: LinkId, action: Action) {
+        self.token = kai.mac32(chain_input(flow, self.ts, link, action, self.token).as_bytes());
+        self.entries.push((link, action));
+    }
+
+    /// The action recorded for `link`, if present.
+    pub fn action_for(&self, link: LinkId) -> Option<Action> {
+        self.entries.iter().find(|(l, _)| *l == link).map(|(_, a)| *a)
+    }
+
+    /// Validate the whole chain at the access router by recomputing it.
+    ///
+    /// `kai_for_link` resolves each on-path link to the pairwise key shared
+    /// with that link's AS.
+    pub fn validate<'a>(
+        &self,
+        ka: &mut TimeVaryingSecret,
+        kai_for_link: impl Fn(LinkId) -> Option<&'a Cmac>,
+        now: Nanos,
+        flow: FlowPair,
+        w: Nanos,
+    ) -> bool {
+        let now_s = nanos_to_secs(now) as i64;
+        if (now_s - self.ts as i64).abs() > (w / crate::types::SEC) as i64 {
+            return false;
+        }
+        let mut token = ka.mac32(now, origin_input(flow, self.ts).as_bytes());
+        for (link, action) in &self.entries {
+            let Some(kai) = kai_for_link(*link) else { return false };
+            token = kai.mac32(chain_input(flow, self.ts, *link, *action, token).as_bytes());
+        }
+        token == self.token
+    }
+
+    /// Encoded length in bytes: 8-byte common part + 4-byte token + 5 bytes
+    /// per entry (link id + action), rounded to whole bytes. Used for
+    /// overhead accounting; this is the "longer and variable-length header"
+    /// trade-off §4.3.5 mentions.
+    pub fn encoded_len(&self) -> usize {
+        12 + 5 * self.entries.len()
+    }
+}
+
+impl AccessRouter {
+    /// Appendix B.1 regular-packet policing: pass the packet through the
+    /// rate limiters of *all* the bottleneck links listed in its
+    /// multi-feedback; drop it if any limiter drops it; otherwise it departs
+    /// when the slowest limiter releases it.
+    ///
+    /// The multi-feedback is reset to the origin (nop-equivalent) stamp
+    /// before forwarding, exactly as the single-feedback design resets to
+    /// `L↑`/`nop`.
+    pub fn process_outbound_multi(
+        &mut self,
+        now: Nanos,
+        flow: FlowPair,
+        mf: &mut MultiFeedback,
+        wire_bytes: usize,
+    ) -> AccessVerdict {
+        // Validate the chain first; invalid chains are demoted to requests
+        // by the caller (we signal that with a drop here to keep the API
+        // small — the systems adapter treats it like invalid feedback).
+        let valid = {
+            let ka = &mut self.ka;
+            let as_keys = &self.as_keys;
+            let link_as = &self.link_as;
+            let mf_ref = &*mf;
+            mf_ref.validate(
+                ka,
+                |l| link_as.get(&l).and_then(|a| as_keys.get(a.0)),
+                now,
+                flow,
+                self.cfg.feedback_expiry,
+            )
+        };
+        if !valid {
+            return AccessVerdict::Drop(DropReason::RequestRateLimited);
+        }
+
+        let mut worst: Option<Nanos> = None;
+        let mut dropped = false;
+        for (link, action) in mf.entries.clone() {
+            let key = LimiterKey { src: flow.src, link };
+            let cfg = &self.cfg;
+            let limiter = self
+                .limiters
+                .entry(key)
+                .or_insert_with(|| crate::access::RegularLimiter::new(cfg, now));
+            // Feed the AIMD controller with this link's own feedback.
+            let fb = crate::feedback::Feedback::Mon {
+                link,
+                action,
+                ts: mf.ts,
+                token: 0,
+                token_nop: None,
+            };
+            limiter.aimd.observe(&fb);
+            if action == Action::Decr {
+                limiter.last_activity = now;
+            }
+            match limiter.bucket.offer(now, wire_bytes) {
+                BucketVerdict::Pass => {}
+                BucketVerdict::Queued { release_at } => {
+                    worst = Some(worst.map_or(release_at, |w| w.max(release_at)));
+                }
+                BucketVerdict::Drop => {
+                    limiter.last_activity = now;
+                    dropped = true;
+                }
+            }
+        }
+        // Reset the feedback for the next hop.
+        *mf = MultiFeedback::origin(&mut self.ka, now, flow);
+        if dropped {
+            return AccessVerdict::Drop(DropReason::RegularRateLimited);
+        }
+        match worst {
+            None => AccessVerdict::Forward { channel: Channel::Regular },
+            Some(release_at) => AccessVerdict::Queued { release_at },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B.2: rate limiter inference
+// ---------------------------------------------------------------------------
+
+/// Per-destination-prefix cache of the bottleneck links seen on the path
+/// toward that prefix (Appendix B.2).
+#[derive(Debug, Default)]
+pub struct InferenceCache {
+    /// prefix -> set of mon-state links on the path toward it.
+    prefix_links: HashMap<u32, HashSet<LinkId>>,
+    /// prefix -> last time each link's feedback was seen (for expiry).
+    last_seen: HashMap<(u32, LinkId), Nanos>,
+    /// How long a link stays cached without fresh feedback.
+    expiry: Nanos,
+}
+
+/// Map a destination host to its "prefix" (a /24 in this reproduction).
+pub fn prefix_of(dst: HostId) -> u32 {
+    dst.0 >> 8
+}
+
+impl InferenceCache {
+    /// Create a cache whose entries expire after `expiry` without fresh
+    /// feedback.
+    pub fn new(expiry: Nanos) -> Self {
+        InferenceCache { prefix_links: HashMap::new(), last_seen: HashMap::new(), expiry }
+    }
+
+    /// Record that feedback for `link` was observed on traffic toward
+    /// `dst`.
+    pub fn record(&mut self, now: Nanos, dst: HostId, link: LinkId) {
+        let p = prefix_of(dst);
+        self.prefix_links.entry(p).or_default().insert(link);
+        self.last_seen.insert((p, link), now);
+    }
+
+    /// The set of bottleneck links currently believed to be on the path
+    /// toward `dst` (stale entries are pruned lazily).
+    pub fn links_for(&mut self, now: Nanos, dst: HostId) -> Vec<LinkId> {
+        let p = prefix_of(dst);
+        let expiry = self.expiry;
+        let last_seen = &self.last_seen;
+        let Some(set) = self.prefix_links.get_mut(&p) else { return Vec::new() };
+        set.retain(|l| {
+            last_seen
+                .get(&(p, *l))
+                .map(|t| now.saturating_sub(*t) < expiry)
+                .unwrap_or(false)
+        });
+        let mut v: Vec<LinkId> = set.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of prefixes cached (bounded by the BGP table size, as the
+    /// appendix argues).
+    pub fn prefix_count(&self) -> usize {
+        self.prefix_links.len()
+    }
+}
+
+/// The extra per-limiter flags the inference design tracks in addition to
+/// `hasIncr` (Appendix B.2): starred flags describe *inferred* feedback from
+/// other on-path links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferenceFlags {
+    /// `hasIncr*`: some other on-path link reported `L↑` newer than the
+    /// interval start, implying this link was not congested either.
+    pub has_incr_star: bool,
+    /// `isActive`: this limiter saw its own link's feedback (any age).
+    pub is_active: bool,
+    /// `isActive*`: another on-path link's feedback was seen, so this
+    /// limiter could not have received its own.
+    pub is_active_star: bool,
+}
+
+/// The Appendix B.2 end-of-interval adjustment: extends Figure 17 with the
+/// starred flags. Returns what happened to the rate.
+pub fn adjust_with_inference(
+    aimd: &mut AimdState,
+    flags: InferenceFlags,
+    now: Nanos,
+    throughput_bps: f64,
+    cfg: &Config,
+) -> Adjustment {
+    // Helper: force the standard controller's hasIncr flag so its own
+    // increase/keep logic applies (it resets the flag during adjust()).
+    let force_incr = |aimd: &mut AimdState| {
+        let ts = (aimd.interval_start() / crate::types::SEC) as u32;
+        aimd.observe(&crate::feedback::Feedback::Mon {
+            link: LinkId(0),
+            action: Action::Incr,
+            ts,
+            token: 0,
+            token_nop: None,
+        });
+    };
+    if aimd.has_incr() || flags.has_incr_star {
+        // Rule 1: increase if the limiter was actually utilized, otherwise
+        // keep — exactly the Figure 17 rule, with hasIncr possibly inferred.
+        force_incr(aimd);
+        return aimd.adjust(now, throughput_bps, cfg);
+    }
+    if flags.is_active {
+        // Rule 2: own-link feedback without incr → decrease.
+        return aimd.adjust(now, throughput_bps, cfg);
+    }
+    if flags.is_active_star {
+        // Rule 3: another link's feedback was carried → hold unchanged.
+        force_incr(aimd);
+        return aimd.adjust(now, 0.0, cfg);
+    }
+    // Rule 4: silence → decrease.
+    aimd.adjust(now, throughput_bps, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AsId, SEC};
+    use netfence_crypto::{full_mesh_exchange, AsKeyAgent};
+
+    fn setup() -> (AccessRouter, Cmac, Cmac, FlowPair) {
+        let agents =
+            vec![AsKeyAgent::new(1, 11), AsKeyAgent::new(2, 22), AsKeyAgent::new(3, 33)];
+        let mut tables = full_mesh_exchange(&agents);
+        let t1 = tables.remove(0);
+        let t2 = tables.remove(0);
+        let t3 = tables.remove(0);
+        let mut access = AccessRouter::new(Config::default(), AsId(1), [9; 16], t1);
+        access.register_link_as(LinkId(201), AsId(2));
+        access.register_link_as(LinkId(301), AsId(3));
+        let kai2 = t2.get(1).unwrap().clone();
+        let kai3 = t3.get(1).unwrap().clone();
+        (access, kai2, kai3, FlowPair::new(HostId(0x0a0a0a01), HostId(0x14141401)))
+    }
+
+    #[test]
+    fn chain_roundtrip_validates() {
+        let (mut access, kai2, kai3, flow) = setup();
+        let mut mf = MultiFeedback::origin(&mut access.ka, SEC, flow);
+        mf.append(&kai2, flow, LinkId(201), Action::Decr);
+        mf.append(&kai3, flow, LinkId(301), Action::Incr);
+        assert_eq!(mf.entries.len(), 2);
+        let ok = {
+            let ka = &mut access.ka;
+            let link_as = &access.link_as;
+            let as_keys = &access.as_keys;
+            mf.validate(ka, |l| link_as.get(&l).and_then(|a| as_keys.get(a.0)), SEC, flow, 4 * SEC)
+        };
+        assert!(ok);
+    }
+
+    #[test]
+    fn tampered_chain_is_rejected() {
+        let (mut access, kai2, _kai3, flow) = setup();
+        let mut mf = MultiFeedback::origin(&mut access.ka, SEC, flow);
+        mf.append(&kai2, flow, LinkId(201), Action::Decr);
+        // A downstream attacker flips the recorded action to Incr to hide
+        // upstream congestion: the chained MAC no longer verifies.
+        let mut forged = mf.clone();
+        forged.entries[0].1 = Action::Incr;
+        let ok = {
+            let ka = &mut access.ka;
+            let link_as = &access.link_as;
+            let as_keys = &access.as_keys;
+            forged.validate(ka, |l| link_as.get(&l).and_then(|a| as_keys.get(a.0)), SEC, flow, 4 * SEC)
+        };
+        assert!(!ok);
+    }
+
+    #[test]
+    fn multi_policing_creates_one_limiter_per_bottleneck() {
+        let (mut access, kai2, kai3, flow) = setup();
+        let mut mf = MultiFeedback::origin(&mut access.ka, SEC, flow);
+        mf.append(&kai2, flow, LinkId(201), Action::Decr);
+        mf.append(&kai3, flow, LinkId(301), Action::Decr);
+        let v = access.process_outbound_multi(SEC, flow, &mut mf, 1500);
+        assert!(!matches!(v, AccessVerdict::Drop(DropReason::RequestRateLimited)));
+        assert_eq!(access.limiter_count(), 2);
+        assert!(access.rate_limit(flow.src, LinkId(201)).is_some());
+        assert!(access.rate_limit(flow.src, LinkId(301)).is_some());
+        // The multi feedback was reset to an origin stamp for the next hop.
+        assert!(mf.entries.is_empty());
+    }
+
+    #[test]
+    fn invalid_chain_is_rejected_by_policing() {
+        let (mut access, _kai2, _kai3, flow) = setup();
+        let mut mf = MultiFeedback { ts: 1, entries: vec![(LinkId(201), Action::Decr)], token: 42 };
+        let v = access.process_outbound_multi(SEC, flow, &mut mf, 1500);
+        assert_eq!(v, AccessVerdict::Drop(DropReason::RequestRateLimited));
+        assert_eq!(access.limiter_count(), 0);
+    }
+
+    #[test]
+    fn encoded_len_grows_with_entries() {
+        let (mut access, kai2, kai3, flow) = setup();
+        let mut mf = MultiFeedback::origin(&mut access.ka, SEC, flow);
+        assert_eq!(mf.encoded_len(), 12);
+        mf.append(&kai2, flow, LinkId(201), Action::Decr);
+        mf.append(&kai3, flow, LinkId(301), Action::Incr);
+        assert_eq!(mf.encoded_len(), 22);
+    }
+
+    #[test]
+    fn inference_cache_records_and_expires() {
+        let mut cache = InferenceCache::new(10 * SEC);
+        let dst = HostId(0x14141401);
+        cache.record(SEC, dst, LinkId(201));
+        cache.record(2 * SEC, dst, LinkId(301));
+        assert_eq!(cache.links_for(3 * SEC, dst), vec![LinkId(201), LinkId(301)]);
+        // Hosts in the same /24 share the entry.
+        assert_eq!(cache.links_for(3 * SEC, HostId(0x141414ff)).len(), 2);
+        assert_eq!(cache.prefix_count(), 1);
+        // After expiry only the fresher link remains, then none.
+        assert_eq!(cache.links_for(11 * SEC, dst), vec![LinkId(301)]);
+        assert!(cache.links_for(30 * SEC, dst).is_empty());
+    }
+
+    #[test]
+    fn inference_adjustment_rules() {
+        let cfg = Config::default();
+        // Rule 3: only another link's feedback was seen → hold.
+        let mut aimd = AimdState::with_rate(100_000, 0);
+        let flags = InferenceFlags { is_active_star: true, ..Default::default() };
+        assert_eq!(
+            adjust_with_inference(&mut aimd, flags, 2 * SEC, 90_000.0, &cfg),
+            Adjustment::Kept
+        );
+        assert_eq!(aimd.rate(), 100_000);
+
+        // Rule 1 via hasIncr*: inferred L↑ increases a busy limiter.
+        let mut aimd = AimdState::with_rate(100_000, 0);
+        let flags = InferenceFlags { has_incr_star: true, ..Default::default() };
+        assert_eq!(
+            adjust_with_inference(&mut aimd, flags, 2 * SEC, 90_000.0, &cfg),
+            Adjustment::Increased
+        );
+        assert_eq!(aimd.rate(), 112_000);
+
+        // Rule 2: own L↓ and nothing else → decrease.
+        let mut aimd = AimdState::with_rate(100_000, 0);
+        let flags = InferenceFlags { is_active: true, ..Default::default() };
+        assert_eq!(
+            adjust_with_inference(&mut aimd, flags, 2 * SEC, 90_000.0, &cfg),
+            Adjustment::Decreased
+        );
+
+        // Rule 4: silence → decrease.
+        let mut aimd = AimdState::with_rate(100_000, 0);
+        assert_eq!(
+            adjust_with_inference(&mut aimd, InferenceFlags::default(), 2 * SEC, 0.0, &cfg),
+            Adjustment::Decreased
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Passport-style source authentication (§4.5 of the paper, [26]).
+//!
+//! NetFence uses Passport to prevent source address spoofing so that
+//! bottleneck routers can attribute traffic to its true source AS (needed
+//! for per-AS damage localization) and so that the AS pairwise keys used to
+//! protect `L↓` feedback are available. A Passport header is inserted
+//! between IP and the NetFence header. The source AS computes one MAC per
+//! AS on the path using the key it shares with that AS; each on-path AS
+//! verifies (and erases) its MAC.
+//!
+//! This reproduction keeps the mechanism but simplifies the header to a
+//! single verification MAC per validating AS pair (the simulator validates
+//! at the bottleneck/transit AS, which is all the NetFence evaluation
+//! needs). The header length is accounted as 24 bytes to match the packet
+//! size estimates in §4.6.
+
+use netfence_crypto::{AsKeyTable, Mac32, MacInput};
+
+use crate::types::{AsId, FlowPair};
+
+/// Wire length of the (simplified) Passport header, matching the 24-byte
+/// estimate used by the paper's packet-size accounting (§4.6).
+pub const PASSPORT_HEADER_LEN: usize = 24;
+
+/// A Passport shim header.
+///
+/// Carries the claimed source AS and a MAC computed with the key the source
+/// AS shares with the verifying AS. The MAC also covers the packet length,
+/// the first bytes of the transport payload, and the NetFence request
+/// priority (§5.2.2: extending Passport's MAC to protect the priority
+/// field), which lets routers detect on-path tampering with those fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassportHeader {
+    /// The source AS that stamped this header.
+    pub src_as: AsId,
+    /// MAC over (src, dst, len, payload prefix, priority) under the key
+    /// shared between `src_as` and the verifying AS.
+    pub mac: Mac32,
+}
+
+/// Fields of a packet covered by the Passport MAC.
+#[derive(Debug, Clone, Copy)]
+pub struct PassportCoverage {
+    /// Source/destination hosts.
+    pub flow: FlowPair,
+    /// Total packet length in bytes.
+    pub len: u32,
+    /// The first 8 bytes of the transport payload (includes the TCP/UDP
+    /// checksum in a real packet).
+    pub payload_prefix: [u8; 8],
+    /// NetFence request packet priority (0 for regular packets).
+    pub priority: u8,
+}
+
+fn mac_input(cov: &PassportCoverage, src_as: AsId) -> MacInput {
+    let mut m = MacInput::new("passport");
+    m.push_u32(src_as.0)
+        .push_u32(cov.flow.src.0)
+        .push_u32(cov.flow.dst.0)
+        .push_u32(cov.len)
+        .push_bytes(&cov.payload_prefix)
+        .push_u8(cov.priority);
+    m
+}
+
+/// Stamp a Passport header at the source AS's border (or access) router.
+///
+/// `keys` is the source AS's pairwise key table; `verifier_as` is the AS
+/// that will check the header (the bottleneck/transit AS in the NetFence
+/// evaluation topologies). Returns `None` when no key is shared with the
+/// verifier.
+pub fn stamp(
+    keys: &AsKeyTable,
+    src_as: AsId,
+    verifier_as: AsId,
+    cov: &PassportCoverage,
+) -> Option<PassportHeader> {
+    let cmac = keys.get(verifier_as.0)?;
+    Some(PassportHeader { src_as, mac: cmac.mac32(mac_input(cov, src_as).as_bytes()) })
+}
+
+/// Result of verifying a Passport header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassportCheck {
+    /// The MAC verifies: the packet really originates from `src_as`.
+    Valid,
+    /// The MAC is wrong — spoofed source AS or tampered covered fields.
+    Invalid,
+    /// The verifying AS shares no key with the claimed source AS; the packet
+    /// is treated as legacy/unauthenticated traffic.
+    NoKey,
+}
+
+/// Verify a Passport header at `verifier_as` using its pairwise key table.
+pub fn verify(
+    keys: &AsKeyTable,
+    header: &PassportHeader,
+    cov: &PassportCoverage,
+) -> PassportCheck {
+    match keys.get(header.src_as.0) {
+        None => PassportCheck::NoKey,
+        Some(cmac) => {
+            if cmac.verify32(mac_input(cov, header.src_as).as_bytes(), header.mac) {
+                PassportCheck::Valid
+            } else {
+                PassportCheck::Invalid
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::HostId;
+    use netfence_crypto::{full_mesh_exchange, AsKeyAgent};
+
+    fn tables() -> Vec<AsKeyTable> {
+        let agents: Vec<_> =
+            (0..3).map(|i| AsKeyAgent::new(100 + i, 424_242 * (i as u64 + 1))).collect();
+        full_mesh_exchange(&agents)
+    }
+
+    fn coverage() -> PassportCoverage {
+        PassportCoverage {
+            flow: FlowPair::new(HostId(1), HostId(2)),
+            len: 1500,
+            payload_prefix: *b"\x00\x01\x02\x03\x04\x05\x06\x07",
+            priority: 3,
+        }
+    }
+
+    #[test]
+    fn stamp_and_verify() {
+        let t = tables();
+        let cov = coverage();
+        let h = stamp(&t[0], AsId(100), AsId(101), &cov).unwrap();
+        assert_eq!(verify(&t[1], &h, &cov), PassportCheck::Valid);
+    }
+
+    #[test]
+    fn spoofed_source_as_detected() {
+        let t = tables();
+        let cov = coverage();
+        // AS 102 stamps a header claiming to be AS 100: the MAC is computed
+        // under key(102,101), not key(100,101), so verification at AS 101
+        // fails.
+        let forged = PassportHeader {
+            src_as: AsId(100),
+            mac: t[2].get(101).unwrap().mac32(b"whatever"),
+        };
+        assert_eq!(verify(&t[1], &forged, &cov), PassportCheck::Invalid);
+    }
+
+    #[test]
+    fn tampered_priority_detected() {
+        // §5.2.2: covering the priority field lets downstream routers detect
+        // an on-path router inflating request priority.
+        let t = tables();
+        let cov = coverage();
+        let h = stamp(&t[0], AsId(100), AsId(101), &cov).unwrap();
+        let mut tampered = cov;
+        tampered.priority = 10;
+        assert_eq!(verify(&t[1], &h, &tampered), PassportCheck::Invalid);
+    }
+
+    #[test]
+    fn tampered_length_detected() {
+        let t = tables();
+        let cov = coverage();
+        let h = stamp(&t[0], AsId(100), AsId(101), &cov).unwrap();
+        let mut tampered = cov;
+        tampered.len = 9000;
+        assert_eq!(verify(&t[1], &h, &tampered), PassportCheck::Invalid);
+    }
+
+    #[test]
+    fn missing_key_reported() {
+        let t = tables();
+        let cov = coverage();
+        let h = PassportHeader { src_as: AsId(999), mac: 0 };
+        assert_eq!(verify(&t[1], &h, &cov), PassportCheck::NoKey);
+        assert!(stamp(&t[0], AsId(100), AsId(999), &cov).is_none());
+    }
+}

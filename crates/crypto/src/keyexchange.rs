@@ -1,0 +1,220 @@
+//! Passport-style per-AS pairwise shared keys.
+//!
+//! NetFence relies on Passport [26] in two places (§4.4, §4.5):
+//!
+//! 1. A bottleneck router stamps the `L↓` feedback with a MAC keyed by a
+//!    secret `Kai` shared between *its* AS and the *sender's* AS (Eq. 3).
+//! 2. Passport itself authenticates the source AS of every packet, which is
+//!    what lets routers use per-AS queues / rate limits to localize the
+//!    damage of compromised access routers.
+//!
+//! Passport establishes the pairwise keys by piggybacking a Diffie–Hellman
+//! exchange on BGP announcements. We reproduce that mechanism with a small
+//! fixed-prime DH over 64-bit group elements: every AS generates a private
+//! exponent, "announces" its public value to all other ASes (one round, as a
+//! full-mesh BGP propagation would), and both sides derive the same 128-bit
+//! AES key from the shared group element. The substitution preserves the
+//! property NetFence needs — each ordered AS pair agrees on a secret key that
+//! no third party knows — without modelling BGP messages themselves.
+
+use crate::cmac::Cmac;
+
+/// An Autonomous System number.
+pub type AsNumber = u32;
+
+/// A safe prime that fits in 63 bits so that modular multiplication can be
+/// done in `u128` without overflow. (2^61 - 1 is a Mersenne prime.)
+const DH_PRIME: u64 = (1u64 << 61) - 1;
+/// Group generator.
+const DH_GENERATOR: u64 = 5;
+
+/// Modular multiplication mod [`DH_PRIME`].
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation by squaring.
+fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// One AS's Diffie–Hellman keying material.
+#[derive(Clone)]
+pub struct AsKeyAgent {
+    asn: AsNumber,
+    private: u64,
+    public: u64,
+}
+
+impl core::fmt::Debug for AsKeyAgent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AsKeyAgent {{ asn: {}, public: {} }}", self.asn, self.public)
+    }
+}
+
+impl AsKeyAgent {
+    /// Create a key agent for `asn` from a private exponent (in a real
+    /// deployment this comes from a CSPRNG; in the simulator it comes from
+    /// the seeded RNG so runs are reproducible).
+    pub fn new(asn: AsNumber, private_exponent: u64) -> Self {
+        // Avoid the degenerate exponents 0 and 1.
+        let private = private_exponent % (DH_PRIME - 3) + 2;
+        let public = powmod(DH_GENERATOR, private, DH_PRIME);
+        AsKeyAgent { asn, private, public }
+    }
+
+    /// The AS number this agent belongs to.
+    pub fn asn(&self) -> AsNumber {
+        self.asn
+    }
+
+    /// The public value this AS announces via BGP.
+    pub fn public_value(&self) -> u64 {
+        self.public
+    }
+
+    /// Derive the shared 128-bit key with a peer AS from its announced
+    /// public value.
+    ///
+    /// Both peers derive the same key because the derivation input uses the
+    /// unordered AS pair (smaller ASN first) plus the DH shared secret.
+    pub fn shared_key(&self, peer_asn: AsNumber, peer_public: u64) -> [u8; 16] {
+        let secret = powmod(peer_public, self.private, DH_PRIME);
+        let (lo, hi) = if self.asn <= peer_asn {
+            (self.asn, peer_asn)
+        } else {
+            (peer_asn, self.asn)
+        };
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&secret.to_be_bytes());
+        key[8..12].copy_from_slice(&lo.to_be_bytes());
+        key[12..16].copy_from_slice(&hi.to_be_bytes());
+        // Whiten through AES so the structure of the DH secret is not
+        // directly exposed as key bytes.
+        let cipher = crate::aes::Aes128::new(b"NetFencePassport");
+        cipher.encrypt(&key)
+    }
+}
+
+/// The table of pairwise AS keys held by one AS (e.g. by its border/access
+/// routers). Maps a peer ASN to a ready-to-use CMAC instance.
+#[derive(Debug, Default, Clone)]
+pub struct AsKeyTable {
+    keys: std::collections::HashMap<AsNumber, Cmac>,
+}
+
+impl AsKeyTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install the key shared with `peer`.
+    pub fn install(&mut self, peer: AsNumber, key: [u8; 16]) {
+        self.keys.insert(peer, Cmac::new(&key));
+    }
+
+    /// Look up the CMAC for a peer AS.
+    pub fn get(&self, peer: AsNumber) -> Option<&Cmac> {
+        self.keys.get(&peer)
+    }
+
+    /// Number of peers with installed keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Run the full-mesh "BGP piggybacked" exchange for a set of ASes and return
+/// each AS's key table. Index `i` of the result corresponds to `agents[i]`.
+pub fn full_mesh_exchange(agents: &[AsKeyAgent]) -> Vec<AsKeyTable> {
+    let mut tables = vec![AsKeyTable::new(); agents.len()];
+    for (i, a) in agents.iter().enumerate() {
+        for b in agents.iter() {
+            if a.asn() == b.asn() {
+                continue;
+            }
+            tables[i].install(b.asn(), a.shared_key(b.asn(), b.public_value()));
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_agreement() {
+        let a = AsKeyAgent::new(100, 0xdead_beef_cafe);
+        let b = AsKeyAgent::new(200, 0x1234_5678_9abc);
+        let kab = a.shared_key(b.asn(), b.public_value());
+        let kba = b.shared_key(a.asn(), a.public_value());
+        assert_eq!(kab, kba, "both ASes must derive the same pairwise key");
+    }
+
+    #[test]
+    fn third_party_gets_different_key() {
+        let a = AsKeyAgent::new(100, 11111);
+        let b = AsKeyAgent::new(200, 22222);
+        let c = AsKeyAgent::new(300, 33333);
+        let kab = a.shared_key(b.asn(), b.public_value());
+        let kac = a.shared_key(c.asn(), c.public_value());
+        let kbc = b.shared_key(c.asn(), c.public_value());
+        assert_ne!(kab, kac);
+        assert_ne!(kab, kbc);
+        assert_ne!(kac, kbc);
+    }
+
+    #[test]
+    fn full_mesh_tables_are_symmetric() {
+        let agents: Vec<_> = (0..5)
+            .map(|i| AsKeyAgent::new(1000 + i, 7919 * (i as u64 + 1)))
+            .collect();
+        let tables = full_mesh_exchange(&agents);
+        assert_eq!(tables.len(), 5);
+        for t in &tables {
+            assert_eq!(t.len(), 4);
+        }
+        // AS 1000's CMAC of a message under key(1000,1001) equals AS 1001's.
+        let msg = b"congestion feedback";
+        let m01 = tables[0].get(1001).unwrap().mac32(msg);
+        let m10 = tables[1].get(1000).unwrap().mac32(msg);
+        assert_eq!(m01, m10);
+        // ...and differs from the key AS 1002 shares with AS 1000.
+        let m02 = tables[0].get(1002).unwrap().mac32(msg);
+        assert_ne!(m01, m02);
+    }
+
+    #[test]
+    fn degenerate_exponents_are_avoided() {
+        let a = AsKeyAgent::new(1, 0);
+        assert_ne!(a.public_value(), 1, "exponent 0 would make the public value 1");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn agreement_holds_for_arbitrary_exponents(x in 1u64.., y in 1u64..) {
+            let a = AsKeyAgent::new(10, x);
+            let b = AsKeyAgent::new(20, y);
+            proptest::prop_assert_eq!(
+                a.shared_key(20, b.public_value()),
+                b.shared_key(10, a.public_value())
+            );
+        }
+    }
+}

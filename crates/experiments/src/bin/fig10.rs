@@ -1,0 +1,28 @@
+//! Figure 10: NetFence on a parking-lot topology with two bottlenecks.
+use netfence_experiments::fig10::run_fig10;
+use netfence_experiments::report::{kbps, render_table};
+use netfence_experiments::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut scale = if quick { Scale::tiny() } else { Scale::default_scale() };
+    if quick {
+        scale.sim_time = 80 * 1_000_000_000;
+    }
+    println!("Figure 10: Group-A throughput on the parking-lot topology (kbps)\n");
+    let rows: Vec<Vec<String>> = run_fig10(&scale)
+        .iter()
+        .map(|p| {
+            vec![
+                p.case.label.to_string(),
+                kbps(p.group_a_user_bps),
+                kbps(p.group_a_attacker_bps),
+                kbps(p.fair_share_bps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["case", "Group-A user", "Group-A attacker", "fair share"], &rows)
+    );
+}

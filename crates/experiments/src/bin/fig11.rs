@@ -1,0 +1,31 @@
+//! Figure 11: microscopic on-off attacks.
+use netfence_experiments::fig11::run_fig11;
+use netfence_experiments::report::{kbps, render_table};
+use netfence_experiments::Scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, toffs): (Scale, Vec<f64>) = if quick {
+        (Scale { sim_time: 80 * 1_000_000_000, ..Scale::tiny() }, vec![1.5, 10.0])
+    } else {
+        (
+            Scale { sim_time: 300 * 1_000_000_000, ..Scale::default_scale() },
+            vec![1.5, 5.0, 10.0, 30.0, 100.0],
+        )
+    };
+    println!(
+        "Figure 11: synchronized on-off attacks, {} senders, fair share 100 kbps\n",
+        scale.senders()
+    );
+    let rows: Vec<Vec<String>> = run_fig11(&scale, 100_000, &toffs)
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.ton as f64 / 1e9),
+                format!("{:.1}", p.toff as f64 / 1e9),
+                kbps(p.avg_user_bps),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["Ton (s)", "Toff (s)", "user throughput (kbps)"], &rows));
+}

@@ -1,0 +1,22 @@
+//! Figure 13: multi-bottleneck feedback in one packet (Appendix B.1).
+use netfence_experiments::fig13::run_fig13;
+use netfence_experiments::report::{kbps, render_table};
+
+fn main() {
+    println!("Figure 13: Appendix B.1 multi-bottleneck feedback (control-loop model, kbps)\n");
+    let rows: Vec<Vec<String>> = run_fig13(16, 600)
+        .iter()
+        .map(|p| {
+            vec![
+                p.case.label.to_string(),
+                kbps(p.group_a_user_bps),
+                kbps(p.group_a_attacker_bps),
+                kbps(p.fair_share_bps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["case", "Group-A user", "Group-A attacker", "fair share"], &rows)
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 14: rate-limiter inference (Appendix B.2).
+use netfence_experiments::fig13::run_fig14;
+use netfence_experiments::report::{kbps, render_table};
+
+fn main() {
+    println!("Figure 14: Appendix B.2 rate-limiter inference (control-loop model, kbps)\n");
+    let rows: Vec<Vec<String>> = run_fig14(16, 600)
+        .iter()
+        .map(|p| {
+            vec![
+                p.case.label.to_string(),
+                kbps(p.group_a_user_bps),
+                kbps(p.group_a_attacker_bps),
+                kbps(p.fair_share_bps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["case", "Group-A user", "Group-A attacker", "fair share"], &rows)
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 7: router micro-benchmarks (ns per packet).
+use netfence_experiments::fig7::run_fig7;
+use netfence_experiments::report::render_table;
+
+fn main() {
+    let iters: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let rows = run_fig7(iters);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.packet_type.to_string(),
+                r.router_type.to_string(),
+                r.condition.to_string(),
+                format!("{:.0}", r.netfence_ns),
+                format!("{:.0}", r.tva_ns),
+            ]
+        })
+        .collect();
+    println!("Figure 7: per-packet processing overhead (ns/pkt), {iters} packets per cell\n");
+    println!(
+        "{}",
+        render_table(&["packet", "router", "condition", "NetFence", "TVA+"], &table)
+    );
+    println!("Note: software AES on this host; the paper used a 3 GHz Xeon with the same relative structure.");
+}

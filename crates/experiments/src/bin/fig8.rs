@@ -1,0 +1,30 @@
+//! Figure 8: average 20 KB transfer time under unwanted-traffic floods.
+use netfence_experiments::fig8::run_fig8;
+use netfence_experiments::report::{pct, render_table, secs2};
+use netfence_experiments::{DefenseKind, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::tiny() } else { Scale::default_scale() };
+    println!(
+        "Figure 8: unwanted request flooding, {} simulated senders per point, {}s simulated\n",
+        scale.senders(),
+        scale.sim_time / 1_000_000_000
+    );
+    let points = run_fig8(&scale, &DefenseKind::ALL);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}K", p.represented_senders / 1000),
+                p.system.label().to_string(),
+                secs2(p.avg_transfer_secs),
+                pct(p.completion_ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["senders", "system", "avg transfer (s)", "completed"], &rows)
+    );
+}

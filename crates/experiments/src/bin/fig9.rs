@@ -1,0 +1,35 @@
+//! Figure 9: throughput ratio under colluding floods.
+use netfence_experiments::fig9::{run_fig9, UserTraffic};
+use netfence_experiments::report::{pct, render_table};
+use netfence_experiments::{DefenseKind, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::tiny() } else { Scale::default_scale() };
+    for (traffic, title) in [
+        (UserTraffic::LongRunning, "(a) long-running TCP"),
+        (UserTraffic::WebLike, "(b) web-like traffic"),
+    ] {
+        println!(
+            "Figure 9{title}: colluding regular-packet floods, {} simulated senders per point\n",
+            scale.senders()
+        );
+        let points = run_fig9(&scale, &DefenseKind::ALL, traffic);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}K", p.represented_senders / 1000),
+                    p.system.label().to_string(),
+                    format!("{:.2}", p.throughput_ratio),
+                    format!("{:.3}", p.fairness_index),
+                    pct(p.utilization),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["senders", "system", "tput ratio", "fairness", "utilization"], &rows)
+        );
+    }
+}

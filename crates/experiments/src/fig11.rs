@@ -1,0 +1,117 @@
+//! Figure 11: microscopic on-off (shrew-style) attacks.
+//!
+//! Attackers synchronize bursts of `Ton` at 1 Mbps followed by `Toff` of
+//! silence, trying to congest the bottleneck with bursts while keeping
+//! their average rate low. The figure plots the average legitimate-user
+//! (long-running TCP) throughput against `Toff` for `Ton` of 0.5 s and 4 s,
+//! showing that the attack cannot push a user below its fair share and that
+//! users reclaim the idle bandwidth as `Toff` grows.
+
+use netfence_sim::prelude::*;
+
+use crate::scenario::{build_dumbbell, collect_outcome, make_defense, DefenseKind, Scale};
+
+/// One point of Figure 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Point {
+    /// On-period length.
+    pub ton: Nanos,
+    /// Off-period length.
+    pub toff: Nanos,
+    /// Average legitimate-user throughput in bits per second.
+    pub avg_user_bps: f64,
+    /// The per-sender fair share if attackers were always on.
+    pub fair_share_bps: u64,
+}
+
+/// Run one (Ton, Toff) cell with NetFence.
+pub fn run_fig11_cell(scale: &Scale, fair_share: u64, ton: Nanos, toff: Nanos) -> Fig11Point {
+    let bottleneck_bps = fair_share * scale.senders() as u64;
+    let legit_per_as = (scale.hosts_per_as / 4).max(1);
+    let colluders = 3.min(scale.src_ases).max(1);
+    let d = build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders);
+    let defense = make_defense(DefenseKind::NetFence, &d, false);
+    let mut sim = Simulator::new(
+        build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders).net,
+        defense,
+        SimConfig { end_time: scale.sim_time, seed: scale.seed, ..Default::default() },
+    );
+    let mut user_flows = Vec::new();
+    let mut attacker_flows = Vec::new();
+    for (i, &u) in d.users.iter().enumerate() {
+        let victim = d.victim;
+        let seed = scale.seed ^ (i as u64 + 1);
+        user_flows.push(sim.add_flow((i as u64 % 20) * 50 * MILLI, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                u,
+                victim,
+                TcpWorkload::LongRunning,
+                TcpConfig::default(),
+                SimRng::new(seed),
+            ))
+        }));
+    }
+    for (i, &a) in d.attackers.iter().enumerate() {
+        let colluder = d.colluders[i % d.colluders.len()];
+        // All attackers start at the same instant so their bursts are
+        // synchronized — the worst case discussed in §5.2.1.
+        attacker_flows.push(sim.add_flow(0, |id| {
+            Box::new(UdpFlow::new(id, a, colluder, 1_000_000, UdpPattern::OnOff { on: ton, off: toff }))
+        }));
+    }
+    sim.run();
+    let outcome = collect_outcome(&sim, &user_flows, &attacker_flows, d.bottleneck, bottleneck_bps);
+    Fig11Point {
+        ton,
+        toff,
+        avg_user_bps: outcome.avg_user_bps(scale.sim_time),
+        fair_share_bps: fair_share,
+    }
+}
+
+/// Run the Figure 11 sweep: Ton ∈ {0.5 s, 4 s}, Toff swept from 1.5 s to
+/// `max_toff`.
+pub fn run_fig11(scale: &Scale, fair_share: u64, toffs_secs: &[f64]) -> Vec<Fig11Point> {
+    let mut points = Vec::new();
+    for &ton_s in &[0.5f64, 4.0] {
+        for &toff_s in toffs_secs {
+            points.push(run_fig11_cell(scale, fair_share, secs(ton_s), secs(toff_s)));
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onoff_attack_does_not_reduce_user_below_fair_share() {
+        let scale = Scale { src_ases: 3, hosts_per_as: 4, sim_time: 100 * SEC, seed: 11 };
+        let fair = 100_000;
+        let busy = run_fig11_cell(&scale, fair, secs(0.5), secs(1.5));
+        // With short off-periods the user keeps at least roughly its fair
+        // share (the paper's guarantee).
+        assert!(
+            busy.avg_user_bps > 0.5 * fair as f64,
+            "user got {} bps with fair share {}",
+            busy.avg_user_bps,
+            fair
+        );
+    }
+
+    #[test]
+    fn long_off_periods_let_users_reclaim_bandwidth() {
+        let scale = Scale { src_ases: 3, hosts_per_as: 4, sim_time: 100 * SEC, seed: 11 };
+        let fair = 100_000;
+        let short_off = run_fig11_cell(&scale, fair, secs(0.5), secs(1.5));
+        let long_off = run_fig11_cell(&scale, fair, secs(0.5), secs(20.0));
+        assert!(
+            long_off.avg_user_bps > short_off.avg_user_bps,
+            "longer off-periods should increase user throughput: {} vs {}",
+            long_off.avg_user_bps,
+            short_off.avg_user_bps
+        );
+    }
+}

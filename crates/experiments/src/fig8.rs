@@ -1,0 +1,113 @@
+//! Figure 8: unwanted-traffic (request) flooding attacks.
+//!
+//! Attackers flood the victim, the victim identifies the attack traffic and
+//! uses each system's mechanism to block it (capabilities, secure congestion
+//! policing feedback, filters). Legitimate users repeatedly transfer a 20 KB
+//! file to the victim; the metric is the average time of a successful
+//! transfer and the completion ratio, as the number of (represented)
+//! senders grows from 25 K to 200 K.
+
+use netfence_sim::prelude::*;
+
+use crate::scenario::{
+    build_dumbbell, collect_outcome, make_defense, DefenseKind, Scale,
+};
+
+/// One point of Figure 8.
+#[derive(Debug, Clone)]
+pub struct Fig8Point {
+    /// Number of senders this run represents (25 K – 200 K in the paper).
+    pub represented_senders: u64,
+    /// Per-sender fair share of the bottleneck in bits per second.
+    pub fair_share_bps: u64,
+    /// The defense system.
+    pub system: DefenseKind,
+    /// Average successful 20 KB transfer time, seconds.
+    pub avg_transfer_secs: f64,
+    /// Fraction of attempted transfers that completed.
+    pub completion_ratio: f64,
+}
+
+/// The (represented senders, per-sender fair share) sweep of Figure 8: a
+/// fixed 10 Gbps link shared by 25 K–200 K senders.
+pub const FIG8_SWEEP: [(u64, u64); 4] =
+    [(25_000, 400_000), (50_000, 200_000), (100_000, 100_000), (200_000, 50_000)];
+
+/// Run one (system, sweep point) cell and return its Figure 8 point.
+pub fn run_fig8_cell(scale: &Scale, system: DefenseKind, represented: u64, fair_share: u64) -> Fig8Point {
+    let bottleneck_bps = fair_share * scale.senders() as u64;
+    let d = build_dumbbell(scale, 1, bottleneck_bps, 0);
+    let defense = make_defense(system, &d, true);
+    let mut sim = Simulator::new(
+        // Rebuilding the network is cheap; the Dumbbell keeps only metadata.
+        build_dumbbell(scale, 1, bottleneck_bps, 0).net,
+        defense,
+        SimConfig { end_time: scale.sim_time, seed: scale.seed, ..Default::default() },
+    );
+    let mut user_flows = Vec::new();
+    let mut attacker_flows = Vec::new();
+    for (i, &u) in d.users.iter().enumerate() {
+        let victim = d.victim;
+        let seed = scale.seed ^ (i as u64 + 1);
+        user_flows.push(sim.add_flow((i as u64 % 10) * 100 * MILLI, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                u,
+                victim,
+                // A 5 s gap keeps each transfer outside the 4 s feedback /
+                // capability lifetime so that every transfer pays the full
+                // connection-setup cost, as in the paper's experiment.
+                TcpWorkload::RepeatedFile { bytes: 20_000, gap: 5 * SEC },
+                TcpConfig::default(),
+                SimRng::new(seed),
+            ))
+        }));
+    }
+    for (i, &a) in d.attackers.iter().enumerate() {
+        let victim = d.victim;
+        attacker_flows.push(sim.add_flow((i as u64 % 100) * MILLI, |id| {
+            Box::new(UdpFlow::cbr(id, a, victim, 1_000_000))
+        }));
+    }
+    sim.run();
+    let outcome = collect_outcome(&sim, &user_flows, &attacker_flows, d.bottleneck, bottleneck_bps);
+    Fig8Point {
+        represented_senders: represented,
+        fair_share_bps: fair_share,
+        system,
+        avg_transfer_secs: outcome.avg_user_transfer_secs().unwrap_or(f64::NAN),
+        completion_ratio: outcome.user_completion_ratio(),
+    }
+}
+
+/// Run the full Figure 8 sweep for the given systems.
+pub fn run_fig8(scale: &Scale, systems: &[DefenseKind]) -> Vec<Fig8Point> {
+    let mut points = Vec::new();
+    for &(represented, fair_share) in &FIG8_SWEEP {
+        for &system in systems {
+            points.push(run_fig8_cell(scale, system, represented, fair_share));
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netfence_completes_transfers_under_request_flood() {
+        let scale = Scale::tiny();
+        let p = run_fig8_cell(&scale, DefenseKind::NetFence, 100_000, 100_000);
+        assert!(p.completion_ratio > 0.8, "completion ratio {}", p.completion_ratio);
+        assert!(p.avg_transfer_secs < 10.0, "avg transfer {}", p.avg_transfer_secs);
+    }
+
+    #[test]
+    fn stopit_filters_make_transfers_fast() {
+        let scale = Scale::tiny();
+        let p = run_fig8_cell(&scale, DefenseKind::StopIt, 100_000, 100_000);
+        assert!(p.completion_ratio > 0.9);
+        assert!(p.avg_transfer_secs < 3.0, "avg transfer {}", p.avg_transfer_secs);
+    }
+}

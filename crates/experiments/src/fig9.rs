@@ -1,0 +1,134 @@
+//! Figure 9: colluding (regular-packet) flooding attacks.
+//!
+//! Malicious sender–receiver pairs flood regular packets through the
+//! bottleneck; 25% of each source AS's hosts are legitimate users sending
+//! TCP traffic (long-running in 9a, web-like in 9b) to the victim. The
+//! metric is the throughput ratio between the average legitimate user and
+//! the average attacker (ideal = 1), plus the Jain fairness index among
+//! users and the bottleneck utilization.
+
+use netfence_sim::prelude::*;
+
+use crate::scenario::{build_dumbbell, collect_outcome, make_defense, DefenseKind, Scale};
+
+/// User traffic model of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserTraffic {
+    /// Figure 9(a): a single long-running TCP flow per user.
+    LongRunning,
+    /// Figure 9(b): web-like traffic (Pareto/exponential mixture sizes).
+    WebLike,
+}
+
+/// One point of Figure 9.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// Number of senders represented.
+    pub represented_senders: u64,
+    /// The defense system.
+    pub system: DefenseKind,
+    /// User traffic model.
+    pub traffic: UserTraffic,
+    /// Throughput ratio (avg user / avg attacker).
+    pub throughput_ratio: f64,
+    /// Jain fairness index among legitimate users.
+    pub fairness_index: f64,
+    /// Bottleneck utilization.
+    pub utilization: f64,
+}
+
+/// The Figure 9 sweep (same scaling as Figure 8).
+pub const FIG9_SWEEP: [(u64, u64); 4] =
+    [(25_000, 400_000), (50_000, 200_000), (100_000, 100_000), (200_000, 50_000)];
+
+/// Run one (system, point) cell of Figure 9.
+pub fn run_fig9_cell(
+    scale: &Scale,
+    system: DefenseKind,
+    traffic: UserTraffic,
+    represented: u64,
+    fair_share: u64,
+) -> Fig9Point {
+    let bottleneck_bps = fair_share * scale.senders() as u64;
+    // 25% legitimate users per AS (at least one), 9 colluder ASes.
+    let legit_per_as = (scale.hosts_per_as / 4).max(1);
+    let colluders = 9.min(scale.senders() / 4).max(1);
+    let d = build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders);
+    let defense = make_defense(system, &d, false);
+    let mut sim = Simulator::new(
+        build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders).net,
+        defense,
+        SimConfig { end_time: scale.sim_time, seed: scale.seed, ..Default::default() },
+    );
+    let mut user_flows = Vec::new();
+    let mut attacker_flows = Vec::new();
+    for (i, &u) in d.users.iter().enumerate() {
+        let victim = d.victim;
+        let seed = scale.seed ^ (i as u64 + 1);
+        let workload = match traffic {
+            UserTraffic::LongRunning => TcpWorkload::LongRunning,
+            UserTraffic::WebLike => TcpWorkload::WebLike(WebWorkload::default()),
+        };
+        user_flows.push(sim.add_flow((i as u64 % 20) * 50 * MILLI, |id| {
+            Box::new(TcpFlow::new(id, u, victim, workload, TcpConfig::default(), SimRng::new(seed)))
+        }));
+    }
+    for (i, &a) in d.attackers.iter().enumerate() {
+        let colluder = d.colluders[i % d.colluders.len()];
+        attacker_flows.push(sim.add_flow((i as u64 % 100) * MILLI, |id| {
+            Box::new(UdpFlow::cbr(id, a, colluder, 1_000_000))
+        }));
+    }
+    sim.run();
+    let outcome = collect_outcome(&sim, &user_flows, &attacker_flows, d.bottleneck, bottleneck_bps);
+    Fig9Point {
+        represented_senders: represented,
+        system,
+        traffic,
+        throughput_ratio: outcome.throughput_ratio(scale.sim_time),
+        fairness_index: outcome.user_fairness(scale.sim_time),
+        utilization: outcome.bottleneck_utilization,
+    }
+}
+
+/// Run the full Figure 9 sweep (one traffic model) for the given systems.
+pub fn run_fig9(scale: &Scale, systems: &[DefenseKind], traffic: UserTraffic) -> Vec<Fig9Point> {
+    let mut points = Vec::new();
+    for &(represented, fair_share) in &FIG9_SWEEP {
+        for &system in systems {
+            points.push(run_fig9_cell(scale, system, traffic, represented, fair_share));
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netfence_throughput_ratio_is_near_one_for_long_running_tcp() {
+        let mut scale = Scale::tiny();
+        scale.sim_time = 120 * SEC;
+        let p = run_fig9_cell(&scale, DefenseKind::NetFence, UserTraffic::LongRunning, 100_000, 100_000);
+        assert!(
+            p.throughput_ratio > 0.5,
+            "NetFence should give users a comparable share, got ratio {}",
+            p.throughput_ratio
+        );
+        assert!(p.fairness_index > 0.6, "fairness {}", p.fairness_index);
+        assert!(p.utilization > 0.5, "utilization {}", p.utilization);
+    }
+
+    #[test]
+    fn no_defense_ratio_is_poor() {
+        let mut scale = Scale::tiny();
+        scale.sim_time = 60 * SEC;
+        let p = run_fig9_cell(&scale, DefenseKind::None, UserTraffic::LongRunning, 100_000, 100_000);
+        assert!(
+            p.throughput_ratio < 0.5,
+            "without defense the attackers should dominate, got {}",
+            p.throughput_ratio
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # netfence-experiments
+//!
+//! Harnesses that regenerate every table and figure of the NetFence
+//! evaluation (§6 of the paper) on top of the `netfence-sim` simulator and
+//! the `netfence-systems` defense implementations. Each figure has a
+//! library module (used by the integration tests and the Criterion benches)
+//! and a binary (`cargo run -p netfence-experiments --bin figN`) that prints
+//! the figure's rows/series as a plain-text table.
+//!
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison produced by these harnesses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig13;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod scenario;
+
+pub use scenario::{DefenseKind, Scale};

@@ -1,0 +1,83 @@
+//! Small plain-text table formatting used by the experiment binaries, so
+//! each harness prints the same rows/series the paper's figures report.
+
+/// Render a table with a header row; columns are padded to the widest cell.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a bits-per-second value as kbps with one decimal.
+pub fn kbps(bps: f64) -> String {
+    format!("{:.1}", bps / 1000.0)
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format seconds with two decimals.
+pub fn secs2(s: f64) -> String {
+    if s.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{s:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["system", "value"],
+            &[
+                vec!["NetFence".into(), "1.0".into()],
+                vec!["FQ".into(), "10.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("system"));
+        assert!(lines[2].starts_with("NetFence"));
+        // Columns align: "value" starts at the same offset in every row.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 3], "1.0");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(kbps(123_456.0), "123.5");
+        assert_eq!(pct(0.934), "93.4%");
+        assert_eq!(secs2(1.2345), "1.23");
+        assert_eq!(secs2(f64::NAN), "n/a");
+    }
+}

@@ -1,0 +1,371 @@
+//! Evaluation topologies and scenario plumbing shared by all figure
+//! harnesses (§6.3 of the paper).
+//!
+//! The paper cannot simulate millions of senders, so it fixes the number of
+//! simulated nodes and scales the bottleneck capacity down proportionally
+//! ("we adopt the evaluation approach in [47]"); this reproduction applies
+//! the same trick one more time (see `DESIGN.md`). [`Scale`] captures how
+//! many hosts are actually simulated and how much simulated time is run;
+//! every figure function takes one, and the experiment binaries/benches
+//! choose quick/paper-like presets.
+
+use netfence_core::config::Config;
+use netfence_sim::prelude::*;
+use netfence_systems::{
+    strategic_request_priority, FairQueuingDefense, NetFenceDefense, StopItDefense, TvaDefense,
+};
+
+/// Which defense system a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseKind {
+    /// NetFence (this paper).
+    NetFence,
+    /// TVA+ capability baseline.
+    Tva,
+    /// StopIt filter baseline.
+    StopIt,
+    /// Per-sender fair queuing at every link.
+    Fq,
+    /// No defense at all.
+    None,
+}
+
+impl DefenseKind {
+    /// All systems compared in the paper's figures.
+    pub const ALL: [DefenseKind; 4] =
+        [DefenseKind::Fq, DefenseKind::NetFence, DefenseKind::Tva, DefenseKind::StopIt];
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseKind::NetFence => "NetFence",
+            DefenseKind::Tva => "TVA+",
+            DefenseKind::StopIt => "StopIt",
+            DefenseKind::Fq => "FQ",
+            DefenseKind::None => "None",
+        }
+    }
+}
+
+/// How large a run is.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Source ASes (the paper uses 10).
+    pub src_ases: usize,
+    /// Hosts per source AS (the paper uses 100; scaled down by default).
+    pub hosts_per_as: usize,
+    /// Simulated duration.
+    pub sim_time: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// A tiny scale for unit/integration tests and Criterion benches.
+    pub fn tiny() -> Self {
+        Scale { src_ases: 4, hosts_per_as: 4, sim_time: 40 * SEC, seed: 7 }
+    }
+
+    /// The default experiment scale (finishes in seconds per data point).
+    pub fn default_scale() -> Self {
+        Scale { src_ases: 10, hosts_per_as: 8, sim_time: 120 * SEC, seed: 7 }
+    }
+
+    /// Total simulated senders.
+    pub fn senders(&self) -> usize {
+        self.src_ases * self.hosts_per_as
+    }
+}
+
+/// A built dumbbell scenario (Figure 8/9/11 topology): `src_ases` source
+/// ASes connect through a transit AS (routers `Rbl`—`Rbr`, the bottleneck)
+/// to one destination AS holding the victim and `colluder_ases` extra ASes
+/// each holding one colluder.
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// The network.
+    pub net: Network,
+    /// Protocol-level address of the bottleneck link (Rbl → Rbr).
+    pub bottleneck: LinkAddr,
+    /// Bottleneck capacity in bits per second.
+    pub bottleneck_bps: u64,
+    /// Legitimate sender hosts.
+    pub users: Vec<HostAddr>,
+    /// Attacker hosts.
+    pub attackers: Vec<HostAddr>,
+    /// The victim destination.
+    pub victim: HostAddr,
+    /// Colluder destinations (empty when receivers do not collude).
+    pub colluders: Vec<HostAddr>,
+}
+
+/// Host address of host `k` in source AS `i` (1-based AS index).
+pub fn src_host_addr(as_index: usize, host_index: usize) -> HostAddr {
+    0x0A00_0000 + (as_index as u32) * 0x100 + host_index as u32 + 1
+}
+
+/// Build the dumbbell. `legit_per_as` of each AS's hosts are legitimate
+/// users, the rest are attackers. `colluder_ases` extra destination ASes are
+/// attached behind the bottleneck.
+pub fn build_dumbbell(
+    scale: &Scale,
+    legit_per_as: usize,
+    bottleneck_bps: u64,
+    colluder_ases: usize,
+) -> Dumbbell {
+    let mut b = Network::builder();
+    // Transit AS 100 with the two bottleneck routers.
+    let rbl = b.router(100, false);
+    let rbr = b.router(100, false);
+    let access_capacity = (bottleneck_bps * 10).max(100_000_000);
+    let bottleneck_idx = b.link(rbl, rbr, bottleneck_bps, 10 * MILLI, QueueKind::Red);
+    b.link(rbr, rbl, bottleneck_bps, 10 * MILLI, QueueKind::Red);
+
+    let mut users = Vec::new();
+    let mut attackers = Vec::new();
+    // Source ASes 1..=N, each with one access router and `hosts_per_as`
+    // hosts.
+    for asn in 1..=scale.src_ases {
+        let ra = b.router(asn as u32, true);
+        b.duplex(ra, rbl, access_capacity, 10 * MILLI, QueueKind::DropTail);
+        for h in 0..scale.hosts_per_as {
+            let addr = src_host_addr(asn, h);
+            b.host(addr, asn as u32, ra, access_capacity, MILLI);
+            if h < legit_per_as {
+                users.push(addr);
+            } else {
+                attackers.push(addr);
+            }
+        }
+    }
+
+    // Destination AS 200 with the victim.
+    let rd = b.router(200, true);
+    b.duplex(rbr, rd, access_capacity, 10 * MILLI, QueueKind::DropTail);
+    let victim = 0x1400_0001;
+    b.host(victim, 200, rd, access_capacity, MILLI);
+
+    // Colluder ASes 201..
+    let mut colluders = Vec::new();
+    for c in 0..colluder_ases {
+        let asn = 201 + c as u32;
+        let rc = b.router(asn, true);
+        b.duplex(rbr, rc, access_capacity, 10 * MILLI, QueueKind::DropTail);
+        let addr = 0x1500_0001 + c as u32 * 0x100;
+        b.host(addr, asn, rc, access_capacity, MILLI);
+        colluders.push(addr);
+    }
+
+    let net = b.build();
+    let bottleneck = net.links[bottleneck_idx].addr;
+    Dumbbell { net, bottleneck, bottleneck_bps, users, attackers, victim, colluders }
+}
+
+/// Construct the defense system for a dumbbell scenario.
+///
+/// * `suppress_attackers` — whether the victim identifies and wants to block
+///   the attackers (the §6.3.1 unwanted-traffic scenario). When false the
+///   attackers target the colluders and receivers cooperate with them
+///   (§6.3.2).
+pub fn make_defense(kind: DefenseKind, d: &Dumbbell, suppress_attackers: bool) -> Box<dyn DefenseSystem> {
+    match kind {
+        DefenseKind::None => Box::new(NoDefense),
+        DefenseKind::Fq => Box::new(FairQueuingDefense::new()),
+        DefenseKind::StopIt => {
+            let mut s = StopItDefense::new();
+            if suppress_attackers {
+                s.auto_filter(d.victim);
+                for &u in &d.users {
+                    s.allow(d.victim, u);
+                }
+            }
+            Box::new(s)
+        }
+        DefenseKind::Tva => {
+            let mut t = TvaDefense::new();
+            if suppress_attackers {
+                t.deny_by_default(d.victim);
+                for &u in &d.users {
+                    t.allow(d.victim, u);
+                }
+            }
+            Box::new(t)
+        }
+        DefenseKind::NetFence => {
+            let mut n = NetFenceDefense::new(netfence_config());
+            if suppress_attackers {
+                for &a in &d.attackers {
+                    n.suppress_sender(d.victim, a);
+                    n.set_request_priority(a, attacker_request_priority(d));
+                }
+            }
+            Box::new(n)
+        }
+    }
+}
+
+/// The NetFence protocol configuration used by the experiments: Figure 3
+/// parameters with `Ta`/`Tb` shortened so that simulated minutes (rather
+/// than hours) exercise cycle termination.
+pub fn netfence_config() -> Config {
+    let mut cfg = Config::default();
+    cfg.ta = 600 * SEC;
+    cfg.tb = 600 * SEC;
+    cfg
+}
+
+/// The strategic request priority attackers pick in the unwanted-traffic
+/// scenario (§6.3.1): the highest level at which their aggregate traffic can
+/// still saturate the bottleneck's request channel.
+pub fn attacker_request_priority(d: &Dumbbell) -> u8 {
+    let cfg = Config::default();
+    strategic_request_priority(
+        d.attackers.len() as u64,
+        d.bottleneck_bps as f64 * cfg.request_channel_fraction,
+        92.0,
+        cfg.request_tokens_per_sec(),
+        cfg.max_request_priority,
+    )
+}
+
+/// Per-flow roles attached to a finished run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// (flow id, progress) of legitimate users.
+    pub users: Vec<FlowProgress>,
+    /// (flow id, progress) of attackers.
+    pub attackers: Vec<FlowProgress>,
+    /// Bottleneck utilization over the run.
+    pub bottleneck_utilization: f64,
+    /// Loss rate at the bottleneck.
+    pub bottleneck_loss: f64,
+}
+
+impl RunOutcome {
+    /// Average goodput (bps) across users over the run.
+    pub fn avg_user_bps(&self, sim_time: Nanos) -> f64 {
+        avg(self.users.iter().map(|p| p.goodput_bps(0, sim_time)))
+    }
+
+    /// Average goodput (bps) across attackers over the run.
+    pub fn avg_attacker_bps(&self, sim_time: Nanos) -> f64 {
+        avg(self.attackers.iter().map(|p| p.goodput_bps(0, sim_time)))
+    }
+
+    /// Throughput ratio (users / attackers), Figure 9's metric.
+    pub fn throughput_ratio(&self, sim_time: Nanos) -> f64 {
+        let a = self.avg_attacker_bps(sim_time);
+        if a == 0.0 {
+            f64::INFINITY
+        } else {
+            self.avg_user_bps(sim_time) / a
+        }
+    }
+
+    /// Jain fairness index across legitimate users' goodputs.
+    pub fn user_fairness(&self, sim_time: Nanos) -> f64 {
+        let v: Vec<f64> = self.users.iter().map(|p| p.goodput_bps(0, sim_time)).collect();
+        fairness_index(&v)
+    }
+
+    /// Average completed-transfer time across users, in seconds.
+    pub fn avg_user_transfer_secs(&self) -> Option<f64> {
+        let times: Vec<f64> = self.users.iter().filter_map(|p| p.avg_transfer_secs()).collect();
+        if times.is_empty() {
+            None
+        } else {
+            Some(times.iter().sum::<f64>() / times.len() as f64)
+        }
+    }
+
+    /// Fraction of attempted user transfers that completed.
+    pub fn user_completion_ratio(&self) -> f64 {
+        let done: usize = self.users.iter().map(|p| p.completions.len()).sum();
+        let failed: u64 = self.users.iter().map(|p| p.failed_transfers).sum();
+        let attempted = done as u64 + failed;
+        if attempted == 0 {
+            1.0
+        } else {
+            done as f64 / attempted as f64
+        }
+    }
+}
+
+fn avg(iter: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = iter.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Collect per-role progress and bottleneck statistics from a finished
+/// simulation.
+pub fn collect_outcome(
+    sim: &Simulator,
+    user_flows: &[FlowId],
+    attacker_flows: &[FlowId],
+    bottleneck: LinkAddr,
+    bottleneck_bps: u64,
+) -> RunOutcome {
+    RunOutcome {
+        users: user_flows.iter().map(|&f| sim.progress(f)).collect(),
+        attackers: attacker_flows.iter().map(|&f| sim.progress(f)).collect(),
+        bottleneck_utilization: sim.metrics.utilization(bottleneck, bottleneck_bps),
+        bottleneck_loss: sim.metrics.loss_rate(bottleneck),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumbbell_shape() {
+        let scale = Scale { src_ases: 3, hosts_per_as: 4, sim_time: SEC, seed: 1 };
+        let d = build_dumbbell(&scale, 1, 10_000_000, 2);
+        assert_eq!(d.users.len(), 3);
+        assert_eq!(d.attackers.len(), 9);
+        assert_eq!(d.colluders.len(), 2);
+        // Every source host routes to the victim through the bottleneck.
+        let bneck_idx = d.net.link_by_addr(d.bottleneck).unwrap();
+        for &u in d.users.iter().chain(&d.attackers) {
+            let mut node = d.net.host_node(u);
+            let mut crossed = false;
+            for _ in 0..10 {
+                match d.net.next_hop(node, d.victim) {
+                    Some(l) => {
+                        if l == bneck_idx {
+                            crossed = true;
+                        }
+                        node = d.net.links[l].to;
+                    }
+                    None => break,
+                }
+                if d.net.nodes[node.0].host_addr() == Some(d.victim) {
+                    break;
+                }
+            }
+            assert!(crossed, "host {u:#x} does not cross the bottleneck");
+        }
+    }
+
+    #[test]
+    fn strategic_priority_is_reasonable() {
+        let scale = Scale { src_ases: 10, hosts_per_as: 10, sim_time: SEC, seed: 1 };
+        let d = build_dumbbell(&scale, 1, 10_000_000, 0);
+        let p = attacker_request_priority(&d);
+        assert!(p >= 1 && p <= 12, "priority {p}");
+    }
+
+    #[test]
+    fn defense_factory_builds_all_kinds() {
+        let scale = Scale::tiny();
+        let d = build_dumbbell(&scale, 1, 10_000_000, 1);
+        for kind in [DefenseKind::NetFence, DefenseKind::Tva, DefenseKind::StopIt, DefenseKind::Fq, DefenseKind::None] {
+            let def = make_defense(kind, &d, true);
+            assert!(!def.name().is_empty());
+        }
+    }
+}

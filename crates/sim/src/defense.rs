@@ -1,0 +1,123 @@
+//! The hook interface through which a DoS defense system participates in
+//! the simulation.
+//!
+//! The simulator calls these hooks at well-defined points of a packet's
+//! life. `netfence-systems` implements them for NetFence, TVA+, StopIt and
+//! per-sender fair queuing; [`NoDefense`] is the undefended baseline.
+
+use crate::packet::{LinkAddr, Packet};
+use crate::queue::QueueDisc;
+use crate::time::Nanos;
+use crate::topology::{LinkSpec, Network, NodeId};
+
+/// What a router does with a packet about to be forwarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterAction {
+    /// Enqueue on the outgoing link now.
+    Forward,
+    /// Hold the packet (e.g. in an access-router rate limiter) and enqueue
+    /// it at the given absolute time.
+    Delay {
+        /// When to release the packet.
+        release_at: Nanos,
+    },
+    /// Drop the packet.
+    Drop,
+}
+
+/// A DoS defense system plugged into the simulator.
+///
+/// All methods have no-op defaults so simple systems only implement what
+/// they need. Hooks receive mutable access to the packet so they can attach
+/// or rewrite shim headers (via [`crate::packet::Packet::ext`]), change the
+/// channel/priority, or adjust the wire size.
+pub trait DefenseSystem: std::fmt::Debug {
+    /// A short name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Downcast support so experiment harnesses can inspect
+    /// defense-specific state (monitoring cycles, rate limiters, filters)
+    /// after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Called once before the simulation starts, with the built network.
+    /// Gives the defense a chance to learn the topology (AS membership,
+    /// link identifiers, access-router placement).
+    fn install(&mut self, _net: &Network) {}
+
+    /// Optionally replace the queue discipline of a link (e.g. NetFence's
+    /// three-channel queue at the bottleneck, TVA+'s hierarchical fair
+    /// queues). Return `None` to keep the default.
+    fn make_queue(&mut self, _link_index: usize, _spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
+        None
+    }
+
+    /// A host is about to hand a packet to the network: the sender-side shim
+    /// may attach headers, set the channel/priority, and grow the wire size.
+    fn on_host_send(&mut self, _now: Nanos, _pkt: &mut Packet) {}
+
+    /// A packet arrived at its destination host: the receiver-side shim can
+    /// record feedback/capabilities before the transport sees it.
+    fn on_host_receive(&mut self, _now: Nanos, _pkt: &Packet) {}
+
+    /// A router is about to enqueue `pkt` on `out_link`. `node` is the
+    /// router; `is_access` tells whether it is the packet's access router
+    /// (first router after the sending host).
+    fn at_router(
+        &mut self,
+        _now: Nanos,
+        _node: NodeId,
+        _is_access: bool,
+        _out_link: LinkAddr,
+        _pkt: &mut Packet,
+    ) -> RouterAction {
+        RouterAction::Forward
+    }
+
+    /// A packet previously delayed by [`RouterAction::Delay`] is being
+    /// released.
+    fn on_delayed_release(&mut self, _now: Nanos, _pkt: &mut Packet) {}
+
+    /// A packet is being pulled off `link`'s queue for transmission
+    /// (bottleneck routers stamp congestion policing feedback here).
+    fn on_link_dequeue(&mut self, _now: Nanos, _link: LinkAddr, _pkt: &mut Packet) {}
+
+    /// `link`'s queue dropped a packet.
+    fn on_link_drop(&mut self, _now: Nanos, _link: LinkAddr, _pkt: &Packet) {}
+
+    /// Periodic housekeeping (control-interval AIMD, attack detection
+    /// EWMAs, …). Called every `tick_interval` of the simulation config.
+    fn tick(&mut self, _now: Nanos) {}
+}
+
+/// The undefended baseline: every packet is forwarded untouched.
+#[derive(Debug, Default)]
+pub struct NoDefense;
+
+impl DefenseSystem for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_defense_defaults() {
+        let mut d = NoDefense;
+        assert_eq!(d.name(), "none");
+        let mut p = Packet::udp(0, 1, 2, 100, 0);
+        assert_eq!(d.at_router(0, NodeId(0), true, 1, &mut p), RouterAction::Forward);
+        d.on_host_send(0, &mut p);
+        d.on_host_receive(0, &p);
+        d.on_link_dequeue(0, 1, &mut p);
+        d.on_link_drop(0, 1, &p);
+        d.tick(0);
+        assert_eq!(p.size, 100, "defaults must not modify packets");
+    }
+}

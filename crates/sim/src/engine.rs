@@ -1,0 +1,539 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the network, the per-link queues, the transport flows and
+//! the defense system, and drives them from a single event heap. Packets
+//! move through the same stations a real forwarding path has:
+//!
+//! 1. a flow injects a packet at its source host; the defense's sender shim
+//!    may attach headers ([`DefenseSystem::on_host_send`]);
+//! 2. at every router the defense decides to forward, delay (rate-limit) or
+//!    drop the packet ([`DefenseSystem::at_router`]);
+//! 3. the packet waits in the outgoing link's queue discipline, is
+//!    serialized at link speed, propagates, and arrives at the next node;
+//!    the defense observes dequeues and drops (congestion feedback
+//!    stamping, attack detection);
+//! 4. at the destination host the defense's receiver shim sees it first,
+//!    then the owning flow (which may answer with ACKs, echoes, …).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::defense::{DefenseSystem, RouterAction};
+use crate::flow::{Flow, FlowActions, FlowProgress};
+use crate::metrics::Metrics;
+use crate::packet::{FlowId, Packet};
+use crate::queue::{DropTail, QueueDisc, RedQueue};
+use crate::time::{transmission_time, Nanos, MILLI, SEC};
+use crate::topology::{Network, NodeId, QueueKind};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated duration.
+    pub end_time: Nanos,
+    /// Interval between [`DefenseSystem::tick`] calls.
+    pub defense_tick: Nanos,
+    /// Seed recorded for reproducibility (the engine itself is
+    /// deterministic; flows draw their randomness from their own seeded
+    /// generators).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { end_time: 10 * SEC, defense_tick: 100 * MILLI, seed: 1 }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    FlowStart { flow: FlowId },
+    FlowTimer { flow: FlowId, token: u64 },
+    Arrive { node: NodeId, pkt: Packet },
+    TransmitDone { link: usize },
+    /// Re-poll an idle link whose queue declined to release a packet (e.g.
+    /// a strictly capped request channel waiting for tokens).
+    LinkPoll { link: usize },
+    ReleaseDelayed { out_link: usize, pkt: Packet },
+    DefenseTick,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so the BinaryHeap acts as a min-heap on (at, seq).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct LinkState {
+    queue: Box<dyn QueueDisc>,
+    busy: bool,
+    in_flight: Option<Packet>,
+    poll_pending: bool,
+}
+
+/// How long an idle link waits before re-asking a queue that withheld its
+/// packets (strictly capped channels).
+const LINK_POLL_INTERVAL: Nanos = 2 * MILLI;
+
+/// The simulator.
+pub struct Simulator {
+    /// Engine configuration.
+    pub cfg: SimConfig,
+    /// The static network.
+    pub net: Network,
+    /// The defense system under test.
+    pub defense: Box<dyn DefenseSystem>,
+    /// Collected counters.
+    pub metrics: Metrics,
+    links: Vec<LinkState>,
+    flows: Vec<Box<dyn Flow>>,
+    events: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: Nanos,
+    next_pkt_id: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("flows", &self.flows.len())
+            .field("links", &self.links.len())
+            .field("defense", &self.defense.name())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Create a simulator for `net` defended by `defense`.
+    pub fn new(net: Network, mut defense: Box<dyn DefenseSystem>, cfg: SimConfig) -> Self {
+        defense.install(&net);
+        let mut links = Vec::with_capacity(net.links.len());
+        for (i, spec) in net.links.iter().enumerate() {
+            let queue = defense.make_queue(i, spec).unwrap_or_else(|| match spec.queue {
+                QueueKind::DropTail => {
+                    Box::new(DropTail::new(((spec.capacity / 8) / 5).max(15_000) as usize))
+                }
+                QueueKind::Red => {
+                    Box::new(RedQueue::for_capacity(spec.capacity, cfg.seed ^ i as u64))
+                }
+            });
+            links.push(LinkState { queue, busy: false, in_flight: None, poll_pending: false });
+        }
+        Simulator {
+            cfg,
+            net,
+            defense,
+            metrics: Metrics::default(),
+            links,
+            flows: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            next_pkt_id: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Register a flow and schedule its start. The closure receives the
+    /// flow's id.
+    pub fn add_flow<F>(&mut self, start_at: Nanos, make: F) -> FlowId
+    where
+        F: FnOnce(FlowId) -> Box<dyn Flow>,
+    {
+        let id = self.flows.len();
+        self.flows.push(make(id));
+        self.schedule(start_at, EventKind::FlowStart { flow: id });
+        id
+    }
+
+    /// Progress counters of one flow.
+    pub fn progress(&self, flow: FlowId) -> FlowProgress {
+        self.flows[flow].progress()
+    }
+
+    /// Progress counters of every flow, indexed by flow id.
+    pub fn all_progress(&self) -> Vec<FlowProgress> {
+        self.flows.iter().map(|f| f.progress()).collect()
+    }
+
+    /// Source and destination of a flow.
+    pub fn flow_endpoints(&self, flow: FlowId) -> (u32, u32) {
+        (self.flows[flow].src(), self.flows[flow].dst())
+    }
+
+    fn schedule(&mut self, at: Nanos, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Scheduled { at: at.max(self.now), seq: self.seq, kind });
+    }
+
+    /// Run the simulation to `cfg.end_time`.
+    pub fn run(&mut self) {
+        self.schedule(self.cfg.defense_tick, EventKind::DefenseTick);
+        while let Some(ev) = self.events.pop() {
+            if ev.at > self.cfg.end_time {
+                break;
+            }
+            self.now = ev.at;
+            self.handle(ev.kind);
+        }
+        self.now = self.cfg.end_time;
+        self.metrics.end_time = self.cfg.end_time;
+    }
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::FlowStart { flow } => {
+                let actions = self.flows[flow].start(self.now);
+                self.apply_actions(flow, actions);
+            }
+            EventKind::FlowTimer { flow, token } => {
+                let actions = self.flows[flow].on_timer(self.now, token);
+                self.apply_actions(flow, actions);
+            }
+            EventKind::DefenseTick => {
+                self.defense.tick(self.now);
+                if self.now + self.cfg.defense_tick <= self.cfg.end_time {
+                    self.schedule(self.now + self.cfg.defense_tick, EventKind::DefenseTick);
+                }
+            }
+            EventKind::Arrive { node, pkt } => self.packet_at_node(node, pkt),
+            EventKind::TransmitDone { link } => self.transmit_done(link),
+            EventKind::LinkPoll { link } => {
+                self.links[link].poll_pending = false;
+                if !self.links[link].busy {
+                    self.try_transmit(link);
+                }
+            }
+            EventKind::ReleaseDelayed { out_link, mut pkt } => {
+                self.defense.on_delayed_release(self.now, &mut pkt);
+                self.enqueue_on_link(out_link, pkt);
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, flow: FlowId, actions: FlowActions) {
+        let FlowActions { packets, timers } = actions;
+        for (at, token) in timers {
+            self.schedule(at, EventKind::FlowTimer { flow, token });
+        }
+        for mut pkt in packets {
+            self.next_pkt_id += 1;
+            pkt.id = self.next_pkt_id;
+            pkt.flow = flow;
+            pkt.src_as = self.net.as_of_host(pkt.src);
+            self.metrics.injected_pkts += 1;
+            self.defense.on_host_send(self.now, &mut pkt);
+            let node = self.net.host_node(pkt.src);
+            self.forward_from(node, pkt);
+        }
+    }
+
+    fn packet_at_node(&mut self, node: NodeId, pkt: Packet) {
+        if let Some(addr) = self.net.nodes[node.0].host_addr() {
+            if addr != pkt.dst {
+                // Mis-delivered packet (should not happen with consistent
+                // routing); count it as a drop.
+                self.metrics.defense_drop_pkts += 1;
+                return;
+            }
+            self.defense.on_host_receive(self.now, &pkt);
+            self.metrics.delivered_pkts += 1;
+            let flow = pkt.flow;
+            if flow < self.flows.len() {
+                let actions = self.flows[flow].on_packet(self.now, &pkt, addr);
+                self.apply_actions(flow, actions);
+            }
+            return;
+        }
+        self.forward_from(node, pkt);
+    }
+
+    fn forward_from(&mut self, node: NodeId, mut pkt: Packet) {
+        let Some(out_link) = self.net.next_hop(node, pkt.dst) else {
+            self.metrics.defense_drop_pkts += 1;
+            return;
+        };
+        let is_host = self.net.nodes[node.0].host_addr().is_some();
+        if is_host {
+            // The sending host's uplink: no router processing.
+            self.enqueue_on_link(out_link, pkt);
+            return;
+        }
+        let is_access = self.net.access_router_of(pkt.src) == Some(node);
+        let link_addr = self.net.links[out_link].addr;
+        match self.defense.at_router(self.now, node, is_access, link_addr, &mut pkt) {
+            RouterAction::Forward => self.enqueue_on_link(out_link, pkt),
+            RouterAction::Delay { release_at } => {
+                self.schedule(release_at, EventKind::ReleaseDelayed { out_link, pkt });
+            }
+            RouterAction::Drop => {
+                self.metrics.defense_drop_pkts += 1;
+            }
+        }
+    }
+
+    fn enqueue_on_link(&mut self, link_idx: usize, pkt: Packet) {
+        let now = self.now;
+        let dropped = self.links[link_idx].queue.enqueue(now, pkt);
+        if !dropped.is_empty() {
+            let addr = self.net.links[link_idx].addr;
+            for d in dropped {
+                *self.metrics.link_drop_pkts.entry(addr).or_insert(0) += 1;
+                self.defense.on_link_drop(now, addr, &d);
+            }
+        }
+        if !self.links[link_idx].busy {
+            self.try_transmit(link_idx);
+        }
+    }
+
+    /// Ask an idle link's queue for the next packet; if the queue has
+    /// packets but withholds them (strict caps), poll again shortly.
+    fn try_transmit(&mut self, link_idx: usize) {
+        let now = self.now;
+        match self.links[link_idx].queue.dequeue(now) {
+            Some(pkt) => self.start_transmission(link_idx, pkt),
+            None => {
+                if self.links[link_idx].queue.len_pkts() > 0 && !self.links[link_idx].poll_pending
+                {
+                    self.links[link_idx].poll_pending = true;
+                    self.schedule(now + LINK_POLL_INTERVAL, EventKind::LinkPoll { link: link_idx });
+                }
+            }
+        }
+    }
+
+    fn start_transmission(&mut self, link_idx: usize, mut pkt: Packet) {
+        let spec = self.net.links[link_idx];
+        self.defense.on_link_dequeue(self.now, spec.addr, &mut pkt);
+        *self.metrics.link_tx_bytes.entry(spec.addr).or_insert(0) += pkt.size as u64;
+        *self.metrics.link_tx_pkts.entry(spec.addr).or_insert(0) += 1;
+        let ser = transmission_time(pkt.size, spec.capacity);
+        self.links[link_idx].busy = true;
+        self.links[link_idx].in_flight = Some(pkt);
+        self.schedule(self.now + ser, EventKind::TransmitDone { link: link_idx });
+    }
+
+    fn transmit_done(&mut self, link_idx: usize) {
+        let spec = self.net.links[link_idx];
+        if let Some(pkt) = self.links[link_idx].in_flight.take() {
+            self.schedule(self.now + spec.delay, EventKind::Arrive { node: spec.to, pkt });
+        }
+        self.links[link_idx].busy = false;
+        self.try_transmit(link_idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defense::NoDefense;
+    use crate::rng::SimRng;
+    use crate::tcp::{TcpConfig, TcpFlow, TcpWorkload};
+    use crate::udp::UdpFlow;
+    use crate::topology::QueueKind;
+
+    const HOST_A: u32 = 0x0a_00_00_01;
+    const HOST_B: u32 = 0x0b_00_00_01;
+
+    /// host A — r1 —(bottleneck)— r2 — host B
+    fn dumbbell(bottleneck_bps: u64) -> (Network, u32) {
+        let mut b = Network::builder();
+        let r1 = b.router(1, true);
+        let r2 = b.router(2, false);
+        let (fwd, _rev) = b.duplex(r1, r2, bottleneck_bps, 10 * MILLI, QueueKind::Red);
+        b.host(HOST_A, 1, r1, 100_000_000, MILLI);
+        b.host(HOST_B, 2, r2, 100_000_000, MILLI);
+        let net = b.build();
+        let bottleneck_addr = net.links[fwd].addr;
+        (net, bottleneck_addr)
+    }
+
+    #[test]
+    fn tcp_file_transfer_end_to_end() {
+        let (net, _addr) = dumbbell(10_000_000);
+        let mut sim = Simulator::new(
+            net,
+            Box::new(NoDefense),
+            SimConfig { end_time: 20 * SEC, ..Default::default() },
+        );
+        let flow = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                HOST_A,
+                HOST_B,
+                TcpWorkload::RepeatedFile { bytes: 20_000, gap: 100 * MILLI },
+                TcpConfig::default(),
+                SimRng::new(3),
+            ))
+        });
+        sim.run();
+        let p = sim.progress(flow);
+        assert!(p.completions.len() > 20, "completed {} transfers", p.completions.len());
+        assert_eq!(p.failed_transfers, 0);
+        // RTT is ~24 ms and the file fits in a few windows: average transfer
+        // time well under a second on an idle 10 Mbps path.
+        assert!(p.avg_transfer_secs().unwrap() < 0.5);
+    }
+
+    #[test]
+    fn udp_overload_is_limited_by_bottleneck() {
+        let (net, bottleneck) = dumbbell(1_000_000);
+        let mut sim = Simulator::new(
+            net,
+            Box::new(NoDefense),
+            SimConfig { end_time: 10 * SEC, ..Default::default() },
+        );
+        let flow = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 5_000_000)));
+        sim.run();
+        let p = sim.progress(flow);
+        // Goodput cannot exceed the 1 Mbps bottleneck.
+        let goodput = p.goodput_bps(0, 10 * SEC);
+        assert!(goodput < 1_050_000.0, "goodput {goodput}");
+        assert!(goodput > 800_000.0, "goodput {goodput}");
+        // The queue must have dropped the excess.
+        assert!(sim.metrics.link_drop_pkts[&bottleneck] > 1000);
+        // Utilization of the bottleneck is essentially 100%.
+        assert!(sim.metrics.utilization(bottleneck, 1_000_000) > 0.9);
+    }
+
+    #[test]
+    fn two_tcp_flows_share_the_bottleneck() {
+        // Two senders in AS 1 share a 2 Mbps bottleneck toward host B.
+        let mut b = Network::builder();
+        let r1 = b.router(1, true);
+        let r2 = b.router(2, false);
+        b.duplex(r1, r2, 2_000_000, 10 * MILLI, QueueKind::Red);
+        b.host(HOST_A, 1, r1, 100_000_000, MILLI);
+        b.host(HOST_A + 1, 1, r1, 100_000_000, MILLI);
+        b.host(HOST_B, 2, r2, 100_000_000, MILLI);
+        let net = b.build();
+
+        let mut sim = Simulator::new(
+            net,
+            Box::new(NoDefense),
+            SimConfig { end_time: 30 * SEC, ..Default::default() },
+        );
+        let f1 = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                HOST_A,
+                HOST_B,
+                TcpWorkload::LongRunning,
+                TcpConfig::default(),
+                SimRng::new(3),
+            ))
+        });
+        let f2 = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                HOST_A + 1,
+                HOST_B,
+                TcpWorkload::LongRunning,
+                TcpConfig::default(),
+                SimRng::new(4),
+            ))
+        });
+        sim.run();
+        let g1 = sim.progress(f1).goodput_bps(0, 30 * SEC);
+        let g2 = sim.progress(f2).goodput_bps(0, 30 * SEC);
+        let total = g1 + g2;
+        assert!(total > 1_500_000.0, "total goodput {total}");
+        let ratio = g1.max(g2) / g1.min(g2).max(1.0);
+        assert!(ratio < 2.5, "long-run TCP shares should be roughly fair: {g1} vs {g2}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let (net, bottleneck) = dumbbell(1_000_000);
+            let mut sim = Simulator::new(
+                net,
+                Box::new(NoDefense),
+                SimConfig { end_time: 5 * SEC, ..Default::default() },
+            );
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 3_000_000)));
+            sim.add_flow(0, |id| {
+                Box::new(TcpFlow::new(
+                    id,
+                    HOST_A,
+                    HOST_B,
+                    TcpWorkload::RepeatedFile { bytes: 20_000, gap: 50 * MILLI },
+                    TcpConfig::default(),
+                    SimRng::new(9),
+                ))
+            });
+            sim.run();
+            (
+                sim.metrics.link_tx_pkts[&bottleneck],
+                sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0),
+                sim.progress(1).completions.len(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn defense_drop_action_is_honored() {
+        /// A defense that drops every UDP packet at routers.
+        #[derive(Debug)]
+        struct DropUdp;
+        impl DefenseSystem for DropUdp {
+            fn name(&self) -> &'static str {
+                "drop-udp"
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn at_router(
+                &mut self,
+                _now: Nanos,
+                _node: NodeId,
+                _is_access: bool,
+                _out_link: u32,
+                pkt: &mut Packet,
+            ) -> RouterAction {
+                if pkt.protocol == crate::packet::Protocol::Udp {
+                    RouterAction::Drop
+                } else {
+                    RouterAction::Forward
+                }
+            }
+        }
+        let (net, _) = dumbbell(1_000_000);
+        let mut sim = Simulator::new(
+            net,
+            Box::new(DropUdp),
+            SimConfig { end_time: 5 * SEC, ..Default::default() },
+        );
+        let flow = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 1_000_000)));
+        sim.run();
+        assert_eq!(sim.progress(flow).delivered_bytes, 0);
+        assert!(sim.metrics.defense_drop_pkts > 100);
+    }
+}

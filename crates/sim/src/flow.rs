@@ -1,0 +1,145 @@
+//! Transport flows (the simulator's "agents").
+//!
+//! A flow owns both endpoints of a conversation: the engine hands it every
+//! packet that arrives at either of its hosts and every timer it has armed,
+//! and the flow responds with packets to inject and new timers. This keeps
+//! the engine free of any transport knowledge.
+
+use crate::packet::{FlowId, HostAddr, Packet};
+use crate::time::Nanos;
+
+/// What a flow wants the engine to do after handling an event.
+#[derive(Debug, Default)]
+pub struct FlowActions {
+    /// Packets to inject at their `src` host.
+    pub packets: Vec<Packet>,
+    /// Timers to arm: absolute fire time and an opaque token returned to the
+    /// flow when the timer fires.
+    pub timers: Vec<(Nanos, u64)>,
+}
+
+impl FlowActions {
+    /// No actions.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: a single packet.
+    pub fn send(pkt: Packet) -> Self {
+        FlowActions { packets: vec![pkt], timers: Vec::new() }
+    }
+
+    /// Add a packet.
+    pub fn with_packet(mut self, pkt: Packet) -> Self {
+        self.packets.push(pkt);
+        self
+    }
+
+    /// Add a timer.
+    pub fn with_timer(mut self, at: Nanos, token: u64) -> Self {
+        self.timers.push((at, token));
+        self
+    }
+
+    /// Merge another action set into this one.
+    pub fn merge(&mut self, other: FlowActions) {
+        self.packets.extend(other.packets);
+        self.timers.extend(other.timers);
+    }
+}
+
+/// Progress counters exposed by a flow for metrics and experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct FlowProgress {
+    /// Application bytes delivered to the destination (goodput).
+    pub delivered_bytes: u64,
+    /// Packets sent by the source endpoint.
+    pub packets_sent: u64,
+    /// Completed transfers: (start, end, bytes).
+    pub completions: Vec<(Nanos, Nanos, u64)>,
+    /// Transfers that were aborted (handshake failures or deadline).
+    pub failed_transfers: u64,
+    /// Transfers started.
+    pub started_transfers: u64,
+}
+
+impl FlowProgress {
+    /// Average transfer completion time in seconds over completed transfers.
+    pub fn avg_transfer_secs(&self) -> Option<f64> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .completions
+            .iter()
+            .map(|(s, e, _)| (*e - *s) as f64 / 1e9)
+            .sum();
+        Some(total / self.completions.len() as f64)
+    }
+
+    /// Fraction of started transfers that completed.
+    pub fn completion_ratio(&self) -> f64 {
+        let finished = self.completions.len() as u64;
+        let attempted = finished + self.failed_transfers;
+        if attempted == 0 {
+            1.0
+        } else {
+            finished as f64 / attempted as f64
+        }
+    }
+
+    /// Average goodput in bits/second over the interval `[start, end]`.
+    pub fn goodput_bps(&self, start: Nanos, end: Nanos) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 * 8.0 / ((end - start) as f64 / 1e9)
+    }
+}
+
+/// A transport flow / traffic agent.
+pub trait Flow: std::fmt::Debug {
+    /// The flow's id (assigned at registration).
+    fn id(&self) -> FlowId;
+    /// The sending host.
+    fn src(&self) -> HostAddr;
+    /// The receiving host.
+    fn dst(&self) -> HostAddr;
+    /// Called once at the flow's start time.
+    fn start(&mut self, now: Nanos) -> FlowActions;
+    /// A packet belonging to this flow arrived at `at_host` (either
+    /// endpoint).
+    fn on_packet(&mut self, now: Nanos, pkt: &Packet, at_host: HostAddr) -> FlowActions;
+    /// A previously armed timer fired.
+    fn on_timer(&mut self, now: Nanos, token: u64) -> FlowActions;
+    /// Current progress counters.
+    fn progress(&self) -> FlowProgress;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_builders_compose() {
+        let p = Packet::udp(0, 1, 2, 100, 0);
+        let mut a = FlowActions::send(p).with_timer(5, 7);
+        a.merge(FlowActions::none().with_packet(Packet::udp(0, 1, 2, 200, 0)));
+        assert_eq!(a.packets.len(), 2);
+        assert_eq!(a.timers, vec![(5, 7)]);
+    }
+
+    #[test]
+    fn progress_statistics() {
+        let mut p = FlowProgress::default();
+        assert_eq!(p.avg_transfer_secs(), None);
+        assert_eq!(p.completion_ratio(), 1.0);
+        p.completions.push((0, 2_000_000_000, 20_000));
+        p.completions.push((0, 4_000_000_000, 20_000));
+        p.failed_transfers = 2;
+        assert!((p.avg_transfer_secs().unwrap() - 3.0).abs() < 1e-9);
+        assert!((p.completion_ratio() - 0.5).abs() < 1e-9);
+        p.delivered_bytes = 1_000_000;
+        assert!((p.goodput_bps(0, 8_000_000_000) - 1_000_000.0).abs() < 1.0);
+    }
+}

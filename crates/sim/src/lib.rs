@@ -1,0 +1,61 @@
+//! # netfence-sim
+//!
+//! A deterministic, packet-level, discrete-event network simulator — the
+//! ns-2 substitute used to reproduce the NetFence evaluation (see
+//! `DESIGN.md` at the repository root for the substitution argument).
+//!
+//! The crate provides:
+//!
+//! * an event-driven [`engine::Simulator`] with per-link serialization,
+//!   propagation delay and pluggable queue disciplines ([`queue`]);
+//! * transport agents: a simplified TCP Reno ([`tcp`]) and UDP constant
+//!   bit-rate / synchronized on-off senders ([`udp`]);
+//! * the web-like workload generator the paper uses ([`webtraffic`]);
+//! * topology builders ([`topology`]) and measurement helpers
+//!   ([`metrics`]);
+//! * the [`defense::DefenseSystem`] hook trait through which DoS defense
+//!   systems (NetFence, TVA+, StopIt, fair queuing — implemented in
+//!   `netfence-systems`) participate in packet forwarding.
+//!
+//! The simulator knows nothing about any specific defense: shim headers ride
+//! along as type-erased [`packet::Extension`]s.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod defense;
+pub mod engine;
+pub mod flow;
+pub mod metrics;
+pub mod packet;
+pub mod queue;
+pub mod rng;
+pub mod tcp;
+pub mod time;
+pub mod topology;
+pub mod udp;
+pub mod webtraffic;
+
+/// Commonly used re-exports.
+pub mod prelude {
+    pub use crate::defense::{DefenseSystem, NoDefense, RouterAction};
+    pub use crate::engine::{SimConfig, Simulator};
+    pub use crate::flow::{Flow, FlowActions, FlowProgress};
+    pub use crate::metrics::{fairness_index, mean_ratio, Metrics};
+    pub use crate::packet::{
+        AsNum, ChannelClass, Extension, FlowId, HostAddr, LinkAddr, Packet, Protocol, TcpKind,
+        TcpSegment,
+    };
+    pub use crate::queue::{
+        Classifier, DrrQueue, DropTail, DualChannelQueue, HierDrrQueue, PriorityLevelQueue,
+        QueueDisc, RedQueue,
+    };
+    pub use crate::rng::SimRng;
+    pub use crate::tcp::{TcpConfig, TcpFlow, TcpWorkload};
+    pub use crate::time::{secs, to_secs, Nanos, MICRO, MILLI, SEC};
+    pub use crate::topology::{Network, NetworkBuilder, NodeId, QueueKind};
+    pub use crate::udp::{UdpFlow, UdpPattern};
+    pub use crate::webtraffic::WebWorkload;
+}
+
+pub use prelude::*;

@@ -1,0 +1,112 @@
+//! Simulation-wide measurements: per-link counters and the aggregate
+//! statistics the experiments report (throughput ratio, Jain fairness
+//! index, utilization).
+
+use std::collections::HashMap;
+
+use crate::packet::LinkAddr;
+use crate::time::Nanos;
+
+/// Per-link and global counters collected by the engine.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Bytes transmitted per link.
+    pub link_tx_bytes: HashMap<LinkAddr, u64>,
+    /// Packets transmitted per link.
+    pub link_tx_pkts: HashMap<LinkAddr, u64>,
+    /// Packets dropped by each link's queue.
+    pub link_drop_pkts: HashMap<LinkAddr, u64>,
+    /// Packets dropped by the defense system (rate limiters, filters, …).
+    pub defense_drop_pkts: u64,
+    /// Packets delivered to destination hosts.
+    pub delivered_pkts: u64,
+    /// Total packets injected by flows.
+    pub injected_pkts: u64,
+    /// Simulated time at which the run ended.
+    pub end_time: Nanos,
+}
+
+impl Metrics {
+    /// Utilization of a link over the whole run.
+    pub fn utilization(&self, link: LinkAddr, capacity_bps: u64) -> f64 {
+        if self.end_time == 0 || capacity_bps == 0 {
+            return 0.0;
+        }
+        let bits = self.link_tx_bytes.get(&link).copied().unwrap_or(0) as f64 * 8.0;
+        bits / (capacity_bps as f64 * self.end_time as f64 / 1e9)
+    }
+
+    /// Loss rate of a link (drops / (drops + transmissions)).
+    pub fn loss_rate(&self, link: LinkAddr) -> f64 {
+        let drops = self.link_drop_pkts.get(&link).copied().unwrap_or(0) as f64;
+        let tx = self.link_tx_pkts.get(&link).copied().unwrap_or(0) as f64;
+        if drops + tx == 0.0 {
+            0.0
+        } else {
+            drops / (drops + tx)
+        }
+    }
+}
+
+/// Jain's fairness index of a set of throughputs: `(Σx)² / (n·Σx²)`.
+pub fn fairness_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (values.len() as f64 * sq)
+    }
+}
+
+/// The ratio between the mean of `numerators` and the mean of
+/// `denominators` (e.g. average legitimate-user throughput over average
+/// attacker throughput — Figure 9's metric). Returns `None` when the
+/// denominator set is empty or has zero mean.
+pub fn mean_ratio(numerators: &[f64], denominators: &[f64]) -> Option<f64> {
+    if numerators.is_empty() || denominators.is_empty() {
+        return None;
+    }
+    let num = numerators.iter().sum::<f64>() / numerators.len() as f64;
+    let den = denominators.iter().sum::<f64>() / denominators.len() as f64;
+    if den == 0.0 {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SEC;
+
+    #[test]
+    fn utilization_and_loss() {
+        let mut m = Metrics { end_time: 10 * SEC, ..Default::default() };
+        m.link_tx_bytes.insert(1, 12_500_000); // 100 Mbit over 10 s = 10 Mbps
+        m.link_tx_pkts.insert(1, 1000);
+        m.link_drop_pkts.insert(1, 250);
+        assert!((m.utilization(1, 20_000_000) - 0.5).abs() < 1e-9);
+        assert!((m.loss_rate(1) - 0.2).abs() < 1e-9);
+        assert_eq!(m.utilization(2, 20_000_000), 0.0);
+        assert_eq!(m.loss_rate(2), 0.0);
+    }
+
+    #[test]
+    fn fairness_index_properties() {
+        assert!((fairness_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((fairness_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(fairness_index(&[]), 1.0);
+    }
+
+    #[test]
+    fn ratios() {
+        assert_eq!(mean_ratio(&[1.0, 3.0], &[2.0, 2.0]), Some(1.0));
+        assert_eq!(mean_ratio(&[], &[1.0]), None);
+        assert_eq!(mean_ratio(&[1.0], &[0.0]), None);
+    }
+}

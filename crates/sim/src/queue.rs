@@ -1,0 +1,888 @@
+//! Queue disciplines for simulated links.
+//!
+//! The substrate provides the schedulers the NetFence evaluation needs:
+//!
+//! * [`DropTail`] — plain FIFO with a byte limit;
+//! * [`RedQueue`] — Random Early Detection with the parameters from
+//!   Figure 3 of the paper (`min_thresh = 0.5·Q_lim`,
+//!   `max_thresh = 0.75·Q_lim`, `w_q = 0.1`);
+//! * [`DrrQueue`] — Deficit Round Robin fair queuing [38] with a pluggable
+//!   [`Classifier`] (per-sender, per-destination, per-AS);
+//! * [`HierDrrQueue`] — two-level hierarchical DRR (per source AS, then per
+//!   source host) as used by TVA+ and StopIt for their request/fallback
+//!   channels;
+//! * [`PriorityLevelQueue`] — strict priority across request-packet levels;
+//! * [`DualChannelQueue`] — the request/regular/legacy channel split of a
+//!   NetFence or TVA+ router (Figure 2), with the request channel capped at
+//!   a configurable fraction of the link.
+//!
+//! All disciplines implement [`QueueDisc`], so links can host any of them
+//! and defense systems can compose them.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::packet::{ChannelClass, Packet};
+use crate::time::Nanos;
+
+/// A queue discipline attached to a link.
+pub trait QueueDisc: std::fmt::Debug {
+    /// Offer a packet. Returns the packets dropped as a consequence (often
+    /// the offered packet itself when the queue is full).
+    fn enqueue(&mut self, now: Nanos, pkt: Packet) -> Vec<Packet>;
+    /// Remove the next packet to transmit.
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
+    /// Total queued bytes.
+    fn len_bytes(&self) -> usize;
+    /// Total queued packets.
+    fn len_pkts(&self) -> usize;
+    /// Whether the queue currently signals congestion (used by defense
+    /// adapters; RED reports average queue above `min_thresh`).
+    fn congested(&self) -> bool {
+        false
+    }
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len_pkts() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DropTail
+// ---------------------------------------------------------------------------
+
+/// A FIFO queue that drops arriving packets once `limit_bytes` is reached.
+#[derive(Debug)]
+pub struct DropTail {
+    queue: VecDeque<Packet>,
+    bytes: usize,
+    limit_bytes: usize,
+}
+
+impl DropTail {
+    /// Create a drop-tail queue bounded to `limit_bytes`.
+    pub fn new(limit_bytes: usize) -> Self {
+        DropTail { queue: VecDeque::new(), bytes: 0, limit_bytes }
+    }
+}
+
+impl QueueDisc for DropTail {
+    fn enqueue(&mut self, _now: Nanos, pkt: Packet) -> Vec<Packet> {
+        if self.bytes + pkt.size > self.limit_bytes {
+            return vec![pkt];
+        }
+        self.bytes += pkt.size;
+        self.queue.push_back(pkt);
+        Vec::new()
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size;
+        Some(pkt)
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn congested(&self) -> bool {
+        self.bytes * 2 >= self.limit_bytes
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RED
+// ---------------------------------------------------------------------------
+
+/// Random Early Detection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RedParams {
+    /// Hard queue limit in bytes (`Q_lim`).
+    pub limit_bytes: usize,
+    /// Early-drop lower threshold in bytes.
+    pub min_thresh: usize,
+    /// Early-drop upper threshold in bytes.
+    pub max_thresh: usize,
+    /// Maximum early-drop probability at `max_thresh`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue size.
+    pub wq: f64,
+}
+
+impl RedParams {
+    /// The paper's parameters for a link of `capacity` bits/second:
+    /// `Q_lim = 0.2 s × capacity`, `min = 0.5·Q_lim`, `max = 0.75·Q_lim`,
+    /// `w_q = 0.1`.
+    pub fn paper_defaults(capacity_bps: u64) -> Self {
+        let limit_bytes = (capacity_bps as f64 * 0.2 / 8.0) as usize;
+        RedParams {
+            limit_bytes: limit_bytes.max(6000),
+            min_thresh: (limit_bytes / 2).max(3000),
+            max_thresh: (limit_bytes * 3 / 4).max(4500),
+            max_p: 0.1,
+            wq: 0.1,
+        }
+    }
+}
+
+/// A RED queue (loss-based congestion detection, §4.6 of the paper).
+#[derive(Debug)]
+pub struct RedQueue {
+    params: RedParams,
+    queue: VecDeque<Packet>,
+    bytes: usize,
+    avg: f64,
+    /// Packets since the last early drop (makes drops roughly uniform, as in
+    /// the RED paper).
+    count_since_drop: u64,
+    /// Cheap deterministic PRNG (xorshift) for drop decisions.
+    prng: u64,
+}
+
+impl RedQueue {
+    /// Create a RED queue.
+    pub fn new(params: RedParams, seed: u64) -> Self {
+        RedQueue {
+            params,
+            queue: VecDeque::new(),
+            bytes: 0,
+            avg: 0.0,
+            count_since_drop: 0,
+            prng: seed | 1,
+        }
+    }
+
+    /// Create a RED queue with the paper's defaults for a link capacity.
+    pub fn for_capacity(capacity_bps: u64, seed: u64) -> Self {
+        Self::new(RedParams::paper_defaults(capacity_bps), seed)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // xorshift64*
+        let mut x = self.prng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.prng = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The current average queue estimate in bytes.
+    pub fn avg_bytes(&self) -> f64 {
+        self.avg
+    }
+}
+
+impl QueueDisc for RedQueue {
+    fn enqueue(&mut self, _now: Nanos, pkt: Packet) -> Vec<Packet> {
+        // Update the average on every arrival.
+        self.avg = self.avg * (1.0 - self.params.wq) + self.bytes as f64 * self.params.wq;
+
+        let hard_full = self.bytes + pkt.size > self.params.limit_bytes;
+        let early_drop = if self.avg >= self.params.max_thresh as f64 {
+            true
+        } else if self.avg >= self.params.min_thresh as f64 {
+            let span = (self.params.max_thresh - self.params.min_thresh) as f64;
+            let p_base = self.params.max_p * (self.avg - self.params.min_thresh as f64) / span;
+            let p = (p_base / (1.0 - (self.count_since_drop as f64 * p_base).min(0.9))).min(1.0);
+            self.next_unit() < p
+        } else {
+            false
+        };
+
+        if hard_full || early_drop {
+            self.count_since_drop = 0;
+            return vec![pkt];
+        }
+        self.count_since_drop += 1;
+        self.bytes += pkt.size;
+        self.queue.push_back(pkt);
+        Vec::new()
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size;
+        Some(pkt)
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn congested(&self) -> bool {
+        self.avg >= self.params.min_thresh as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DRR
+// ---------------------------------------------------------------------------
+
+/// How a fair-queuing discipline maps packets to classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classifier {
+    /// One class per source host (per-sender fair queuing).
+    BySource,
+    /// One class per destination host (TVA+'s per-receiver regular queuing).
+    ByDestination,
+    /// One class per source AS.
+    BySourceAs,
+    /// One class per flow id.
+    ByFlow,
+}
+
+impl Classifier {
+    fn class_of(&self, pkt: &Packet) -> u64 {
+        match self {
+            Classifier::BySource => u64::from(pkt.src),
+            Classifier::ByDestination => u64::from(pkt.dst),
+            Classifier::BySourceAs => u64::from(pkt.src_as),
+            Classifier::ByFlow => pkt.flow as u64,
+        }
+    }
+}
+
+/// Deficit Round Robin fair queuing (Shreedhar & Varghese) with O(1)
+/// per-packet work.
+#[derive(Debug)]
+pub struct DrrQueue {
+    classifier: Classifier,
+    /// Per-class FIFO queues.
+    classes: HashMap<u64, VecDeque<Packet>>,
+    /// Per-class byte counts.
+    class_bytes: HashMap<u64, usize>,
+    /// Active list (round-robin order) and deficit counters.
+    active: VecDeque<u64>,
+    deficit: HashMap<u64, usize>,
+    quantum: usize,
+    per_class_limit: usize,
+    bytes: usize,
+    pkts: usize,
+}
+
+impl DrrQueue {
+    /// Create a DRR queue. `per_class_limit` bounds each class's backlog in
+    /// bytes; `quantum` is the per-round service quantum (typically one
+    /// MTU).
+    pub fn new(classifier: Classifier, quantum: usize, per_class_limit: usize) -> Self {
+        DrrQueue {
+            classifier,
+            classes: HashMap::new(),
+            class_bytes: HashMap::new(),
+            active: VecDeque::new(),
+            deficit: HashMap::new(),
+            quantum,
+            per_class_limit,
+            bytes: 0,
+            pkts: 0,
+        }
+    }
+
+    /// Number of classes with queued packets.
+    pub fn active_classes(&self) -> usize {
+        self.active.len()
+    }
+}
+
+impl QueueDisc for DrrQueue {
+    fn enqueue(&mut self, _now: Nanos, pkt: Packet) -> Vec<Packet> {
+        let class = self.classifier.class_of(&pkt);
+        let bytes = self.class_bytes.entry(class).or_insert(0);
+        if *bytes + pkt.size > self.per_class_limit {
+            return vec![pkt];
+        }
+        *bytes += pkt.size;
+        self.bytes += pkt.size;
+        self.pkts += 1;
+        let q = self.classes.entry(class).or_default();
+        let was_empty = q.is_empty();
+        q.push_back(pkt);
+        if was_empty {
+            self.active.push_back(class);
+            self.deficit.insert(class, 0);
+        }
+        Vec::new()
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        // Standard DRR: visit the head of the active list, add the quantum,
+        // serve if the head packet fits in the deficit, otherwise rotate.
+        // When the quantum is smaller than the largest packet, several
+        // rounds may be needed before anything can be served.
+        let rounds_needed = 1500 / self.quantum.max(1) + 2;
+        let mut visited = 0;
+        while let Some(&class) = self.active.front() {
+            visited += 1;
+            if visited > self.active.len() * rounds_needed + 2 {
+                break;
+            }
+            let q = self.classes.get_mut(&class).expect("active class has a queue");
+            let head_size = match q.front() {
+                Some(p) => p.size,
+                None => {
+                    self.active.pop_front();
+                    self.deficit.remove(&class);
+                    continue;
+                }
+            };
+            let d = self.deficit.entry(class).or_insert(0);
+            if *d >= head_size {
+                *d -= head_size;
+                let pkt = q.pop_front().expect("head exists");
+                self.bytes -= pkt.size;
+                self.pkts -= 1;
+                *self.class_bytes.get_mut(&class).expect("class byte count") -= pkt.size;
+                if q.is_empty() {
+                    self.active.pop_front();
+                    self.deficit.remove(&class);
+                } // else keep the class at the head until its deficit runs out
+                return Some(pkt);
+            }
+            // Not enough deficit: add a quantum and move to the back of the
+            // round.
+            *d += self.quantum;
+            self.active.rotate_left(1);
+        }
+        None
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.pkts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-level hierarchical DRR (per-AS then per-source)
+// ---------------------------------------------------------------------------
+
+/// Two-level hierarchical fair queuing: the outer level shares the link
+/// across source ASes, the inner level shares each AS's allocation across
+/// its source hosts. TVA+ and StopIt use this for request packets and for
+/// the fallback when receivers do not stop attack traffic (§6.3).
+#[derive(Debug)]
+pub struct HierDrrQueue {
+    /// Outer DRR across ASes; each element is the inner per-source DRR.
+    inner: HashMap<u64, DrrQueue>,
+    active: VecDeque<u64>,
+    deficit: HashMap<u64, usize>,
+    quantum: usize,
+    per_source_limit: usize,
+    bytes: usize,
+    pkts: usize,
+}
+
+impl HierDrrQueue {
+    /// Create the hierarchical queue.
+    pub fn new(quantum: usize, per_source_limit: usize) -> Self {
+        HierDrrQueue {
+            inner: HashMap::new(),
+            active: VecDeque::new(),
+            deficit: HashMap::new(),
+            quantum,
+            per_source_limit,
+            bytes: 0,
+            pkts: 0,
+        }
+    }
+}
+
+impl QueueDisc for HierDrrQueue {
+    fn enqueue(&mut self, now: Nanos, pkt: Packet) -> Vec<Packet> {
+        let as_class = u64::from(pkt.src_as);
+        let size = pkt.size;
+        let q = self
+            .inner
+            .entry(as_class)
+            .or_insert_with(|| DrrQueue::new(Classifier::BySource, self.quantum, self.per_source_limit));
+        let was_empty = q.is_empty();
+        let dropped = q.enqueue(now, pkt);
+        if dropped.is_empty() {
+            self.bytes += size;
+            self.pkts += 1;
+            if was_empty {
+                self.active.push_back(as_class);
+                self.deficit.insert(as_class, 0);
+            }
+        }
+        dropped
+    }
+
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        let rounds_needed = 1500 / self.quantum.max(1) + 2;
+        let mut visited = 0;
+        while let Some(&as_class) = self.active.front() {
+            visited += 1;
+            if visited > self.active.len() * rounds_needed + 2 {
+                break;
+            }
+            let q = self.inner.get_mut(&as_class).expect("active AS has a queue");
+            if q.is_empty() {
+                self.active.pop_front();
+                self.deficit.remove(&as_class);
+                continue;
+            }
+            // Peek is awkward through the trait; DRR classes are FIFO so use
+            // an MTU-sized charge when deficits are checked.
+            let head_size = 1500.min(q.len_bytes().max(1));
+            let d = self.deficit.entry(as_class).or_insert(0);
+            if *d >= head_size {
+                if let Some(pkt) = q.dequeue(now) {
+                    *d -= pkt.size.min(*d);
+                    self.bytes -= pkt.size;
+                    self.pkts -= 1;
+                    if q.is_empty() {
+                        self.active.pop_front();
+                        self.deficit.remove(&as_class);
+                    }
+                    return Some(pkt);
+                }
+                // The inner queue declined (its own per-round deficit needs
+                // to build up): give the round to the next AS but keep this
+                // one active.
+                *d += self.quantum;
+                self.active.rotate_left(1);
+                continue;
+            }
+            *d += self.quantum;
+            self.active.rotate_left(1);
+        }
+        None
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.pkts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Priority levels (request channel)
+// ---------------------------------------------------------------------------
+
+/// Strict-priority queue across request-packet priority levels: higher
+/// levels are always served first (§4.2: "routers forward a level-k packet
+/// with higher priority than lower-level packets").
+#[derive(Debug)]
+pub struct PriorityLevelQueue {
+    levels: BTreeMap<u8, VecDeque<Packet>>,
+    bytes: usize,
+    pkts: usize,
+    limit_bytes: usize,
+}
+
+impl PriorityLevelQueue {
+    /// Create a priority-level queue bounded to `limit_bytes`.
+    pub fn new(limit_bytes: usize) -> Self {
+        PriorityLevelQueue { levels: BTreeMap::new(), bytes: 0, pkts: 0, limit_bytes }
+    }
+}
+
+impl QueueDisc for PriorityLevelQueue {
+    fn enqueue(&mut self, _now: Nanos, pkt: Packet) -> Vec<Packet> {
+        if self.bytes + pkt.size > self.limit_bytes {
+            // Drop the lowest-priority queued packet if the newcomer beats
+            // it; otherwise drop the newcomer.
+            let lowest = self.levels.iter().find(|(_, q)| !q.is_empty()).map(|(l, _)| *l);
+            match lowest {
+                Some(l) if l < pkt.priority => {
+                    let q = self.levels.get_mut(&l).expect("level exists");
+                    let victim = q.pop_front().expect("non-empty");
+                    self.bytes -= victim.size;
+                    self.pkts -= 1;
+                    self.bytes += pkt.size;
+                    self.pkts += 1;
+                    self.levels.entry(pkt.priority).or_default().push_back(pkt);
+                    return vec![victim];
+                }
+                _ => return vec![pkt],
+            }
+        }
+        self.bytes += pkt.size;
+        self.pkts += 1;
+        self.levels.entry(pkt.priority).or_default().push_back(pkt);
+        Vec::new()
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        // Serve the highest priority level that has packets.
+        let level = *self.levels.iter().rev().find(|(_, q)| !q.is_empty())?.0;
+        let q = self.levels.get_mut(&level).expect("level exists");
+        let pkt = q.pop_front()?;
+        self.bytes -= pkt.size;
+        self.pkts -= 1;
+        Some(pkt)
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.pkts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel split (request / regular / legacy)
+// ---------------------------------------------------------------------------
+
+/// The three-channel router queue of Figure 2: regular and request traffic
+/// are separated, the request channel is strictly capped at a fraction of
+/// the link capacity (§3.1/§4.2: "limited to consume no more than a small
+/// fraction (5%) of the output link capacity"), and legacy traffic is only
+/// served when both are empty.
+///
+/// The cap is enforced with a token bucket refilled at
+/// `fraction × capacity`; when the request channel has exhausted its tokens
+/// its packets wait even if the link is otherwise idle.
+#[derive(Debug)]
+pub struct DualChannelQueue {
+    regular: Box<dyn QueueDisc>,
+    request: Box<dyn QueueDisc>,
+    legacy: DropTail,
+    /// Request-channel rate cap in bits per second.
+    request_rate_bps: f64,
+    /// Token bucket (bits) for the request channel.
+    request_tokens: f64,
+    /// Maximum token accumulation (bits).
+    request_burst: f64,
+    /// Last token refill time.
+    last_refill: Nanos,
+    served_request: u64,
+    served_total: u64,
+}
+
+impl DualChannelQueue {
+    /// Build the channel split from a regular-channel and request-channel
+    /// discipline. `capacity_bps` is the link capacity and
+    /// `request_fraction` the share reserved for the request channel.
+    pub fn new(
+        regular: Box<dyn QueueDisc>,
+        request: Box<dyn QueueDisc>,
+        legacy_limit_bytes: usize,
+        capacity_bps: u64,
+        request_fraction: f64,
+    ) -> Self {
+        let rate = capacity_bps as f64 * request_fraction;
+        DualChannelQueue {
+            regular,
+            request,
+            legacy: DropTail::new(legacy_limit_bytes),
+            request_rate_bps: rate,
+            request_tokens: 2.0 * 1500.0 * 8.0,
+            request_burst: (2.0 * 1500.0 * 8.0f64).max(rate * 0.05),
+            last_refill: 0,
+            served_request: 0,
+            served_total: 0,
+        }
+    }
+
+    /// Immutable access to the regular channel (for congestion inspection).
+    pub fn regular(&self) -> &dyn QueueDisc {
+        self.regular.as_ref()
+    }
+
+    /// Bytes served from the request channel so far.
+    pub fn served_request_bytes(&self) -> u64 {
+        self.served_request
+    }
+
+    fn refill(&mut self, now: Nanos) {
+        let elapsed = now.saturating_sub(self.last_refill);
+        self.last_refill = now;
+        self.request_tokens = (self.request_tokens
+            + elapsed as f64 / 1e9 * self.request_rate_bps)
+            .min(self.request_burst);
+    }
+}
+
+impl QueueDisc for DualChannelQueue {
+    fn enqueue(&mut self, now: Nanos, pkt: Packet) -> Vec<Packet> {
+        match pkt.channel {
+            ChannelClass::Regular => self.regular.enqueue(now, pkt),
+            ChannelClass::Request => self.request.enqueue(now, pkt),
+            ChannelClass::Legacy => self.legacy.enqueue(now, pkt),
+        }
+    }
+
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        self.refill(now);
+        // Serve the request channel when it has packets and tokens: its
+        // small slice is guaranteed even under regular backlog, and strictly
+        // capped even when the link is idle.
+        let pkt = if !self.request.is_empty() && self.request_tokens > 0.0 {
+            self.request.dequeue(now)
+        } else if !self.regular.is_empty() {
+            self.regular.dequeue(now)
+        } else if self.request.is_empty() {
+            self.legacy.dequeue(now)
+        } else {
+            // Request packets waiting but out of tokens: keep the link idle
+            // for them (strict cap).
+            None
+        };
+        if let Some(p) = &pkt {
+            self.served_total += p.size as u64;
+            if p.channel == ChannelClass::Request {
+                self.served_request += p.size as u64;
+                self.request_tokens -= p.size as f64 * 8.0;
+            }
+        }
+        pkt
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.regular.len_bytes() + self.request.len_bytes() + self.legacy.len_bytes()
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.regular.len_pkts() + self.request.len_pkts() + self.legacy.len_pkts()
+    }
+
+    fn congested(&self) -> bool {
+        self.regular.congested()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src: u32, size: usize) -> Packet {
+        Packet::udp(0, src, 999, size, 0)
+    }
+
+    #[test]
+    fn drop_tail_limits_bytes() {
+        let mut q = DropTail::new(3000);
+        assert!(q.enqueue(0, pkt(1, 1500)).is_empty());
+        assert!(q.enqueue(0, pkt(1, 1500)).is_empty());
+        let dropped = q.enqueue(0, pkt(1, 1500));
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(q.len_pkts(), 2);
+        assert_eq!(q.len_bytes(), 3000);
+        assert!(q.dequeue(0).is_some());
+        assert_eq!(q.len_bytes(), 1500);
+    }
+
+    #[test]
+    fn red_drops_probabilistically_under_load() {
+        let mut q = RedQueue::for_capacity(1_000_000, 42); // Qlim = 25 kB
+        let mut dropped = 0;
+        // Fill without draining: the average climbs, early drops kick in,
+        // and the hard limit is never exceeded.
+        for _ in 0..100 {
+            dropped += q.enqueue(0, pkt(1, 1500)).len();
+        }
+        assert!(dropped > 0, "RED should early-drop under sustained arrival");
+        assert!(q.len_bytes() <= RedParams::paper_defaults(1_000_000).limit_bytes);
+        assert!(q.congested());
+    }
+
+    #[test]
+    fn red_is_quiet_at_low_load() {
+        let mut q = RedQueue::for_capacity(10_000_000, 42);
+        for _ in 0..200 {
+            let d = q.enqueue(0, pkt(1, 1500));
+            assert!(d.is_empty());
+            assert!(q.dequeue(0).is_some());
+        }
+        assert!(!q.congested());
+    }
+
+    #[test]
+    fn drr_shares_bandwidth_equally() {
+        let mut q = DrrQueue::new(Classifier::BySource, 1500, 1_000_000);
+        // Source 1 floods 100 packets, source 2 queues 10.
+        for _ in 0..100 {
+            q.enqueue(0, pkt(1, 1500));
+        }
+        for _ in 0..10 {
+            q.enqueue(0, pkt(2, 1500));
+        }
+        assert_eq!(q.active_classes(), 2);
+        // Dequeue 20: both sources should be served ~10 times each.
+        let mut count = HashMap::new();
+        for _ in 0..20 {
+            let p = q.dequeue(0).unwrap();
+            *count.entry(p.src).or_insert(0) += 1;
+        }
+        assert_eq!(count[&2], 10, "the light source gets its full backlog served");
+        assert_eq!(count[&1], 10, "the flooder gets only its fair share");
+    }
+
+    #[test]
+    fn drr_respects_per_class_limit() {
+        let mut q = DrrQueue::new(Classifier::BySource, 1500, 4500);
+        let mut dropped = 0;
+        for _ in 0..10 {
+            dropped += q.enqueue(0, pkt(7, 1500)).len();
+        }
+        assert_eq!(dropped, 7);
+        assert_eq!(q.len_pkts(), 3);
+    }
+
+    #[test]
+    fn drr_handles_unequal_packet_sizes() {
+        let mut q = DrrQueue::new(Classifier::BySource, 1500, 1_000_000);
+        for _ in 0..50 {
+            q.enqueue(0, pkt(1, 1500)); // big packets
+            for _ in 0..15 {
+                q.enqueue(0, pkt(2, 100)); // the same bytes in small packets
+            }
+        }
+        // Serve ~30 kB: byte shares should be roughly equal, so source 2
+        // gets many more packets out.
+        let mut bytes = HashMap::new();
+        let mut served = 0usize;
+        while served < 30_000 {
+            let p = q.dequeue(0).unwrap();
+            served += p.size;
+            *bytes.entry(p.src).or_insert(0usize) += p.size;
+        }
+        let b1 = bytes[&1] as f64;
+        let b2 = bytes[&2] as f64;
+        assert!((b1 / b2) < 1.5 && (b2 / b1) < 1.5, "byte shares {b1} vs {b2}");
+    }
+
+    #[test]
+    fn hierarchical_drr_fair_across_ases_then_sources() {
+        let mut q = HierDrrQueue::new(1500, 1_000_000);
+        // AS 1 has two hosts (one floods), AS 2 has one host.
+        let mk = |src: u32, as_num: u32| {
+            let mut p = pkt(src, 1500);
+            p.src_as = as_num;
+            p
+        };
+        for _ in 0..100 {
+            q.enqueue(0, mk(11, 1));
+        }
+        for _ in 0..20 {
+            q.enqueue(0, mk(12, 1));
+            q.enqueue(0, mk(21, 2));
+        }
+        let mut count = HashMap::new();
+        for _ in 0..40 {
+            let p = q.dequeue(0).unwrap();
+            *count.entry(p.src).or_insert(0) += 1;
+        }
+        // AS-level fairness: AS 2 gets ~half the service.
+        assert!(count[&21] >= 15, "AS 2 share {:?}", count);
+        // Within AS 1, host 12 is not starved by host 11.
+        assert!(count[&12] >= 8, "intra-AS share {:?}", count);
+    }
+
+    #[test]
+    fn priority_levels_served_highest_first() {
+        let mut q = PriorityLevelQueue::new(1_000_000);
+        let mut mk = |prio: u8| {
+            let mut p = pkt(prio as u32, 92);
+            p.priority = prio;
+            p
+        };
+        q.enqueue(0, mk(0));
+        q.enqueue(0, mk(5));
+        q.enqueue(0, mk(3));
+        q.enqueue(0, mk(5));
+        let order: Vec<u8> = (0..4).map(|_| q.dequeue(0).unwrap().priority).collect();
+        assert_eq!(order, vec![5, 5, 3, 0]);
+    }
+
+    #[test]
+    fn priority_queue_evicts_lower_priority_when_full() {
+        let mut q = PriorityLevelQueue::new(200);
+        let mut mk = |prio: u8| {
+            let mut p = pkt(prio as u32, 92);
+            p.priority = prio;
+            p
+        };
+        q.enqueue(0, mk(0));
+        q.enqueue(0, mk(0));
+        // A high-priority packet displaces a low-priority one.
+        let dropped = q.enqueue(0, mk(9));
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].priority, 0);
+        // A low-priority packet arriving at a full queue is itself dropped.
+        let dropped = q.enqueue(0, mk(0));
+        assert_eq!(dropped[0].priority, 0);
+        assert_eq!(q.dequeue(0).unwrap().priority, 9);
+    }
+
+    #[test]
+    fn dual_channel_caps_request_share_and_starves_legacy() {
+        let mut q = DualChannelQueue::new(
+            Box::new(DropTail::new(1_000_000)),
+            Box::new(PriorityLevelQueue::new(1_000_000)),
+            1_000_000,
+            10_000_000,
+            0.05,
+        );
+        for _ in 0..200 {
+            let mut r = pkt(1, 1000);
+            r.channel = ChannelClass::Regular;
+            q.enqueue(0, r);
+            let mut rq = pkt(2, 1000);
+            rq.channel = ChannelClass::Request;
+            q.enqueue(0, rq);
+            let mut l = pkt(3, 1000);
+            l.channel = ChannelClass::Legacy;
+            q.enqueue(0, l);
+        }
+        let mut served = HashMap::new();
+        for _ in 0..100 {
+            let p = q.dequeue(0).unwrap();
+            *served.entry(p.channel).or_insert(0) += 1;
+        }
+        // Request share stays close to the 5% cap while regular packets are
+        // backlogged, and legacy gets nothing.
+        let req = *served.get(&ChannelClass::Request).unwrap_or(&0);
+        assert!(req <= 8, "request served {req} of 100");
+        assert!(req >= 3, "request channel must not be fully starved, got {req}");
+        assert_eq!(served.get(&ChannelClass::Legacy), None);
+        assert!(served[&ChannelClass::Regular] >= 90);
+    }
+
+    #[test]
+    fn dual_channel_is_work_conserving() {
+        let mut q = DualChannelQueue::new(
+            Box::new(DropTail::new(1_000_000)),
+            Box::new(PriorityLevelQueue::new(1_000_000)),
+            1_000_000,
+            10_000_000,
+            0.05,
+        );
+        for _ in 0..10 {
+            let mut rq = pkt(2, 92);
+            rq.channel = ChannelClass::Request;
+            q.enqueue(0, rq);
+        }
+        let mut l = pkt(3, 1500);
+        l.channel = ChannelClass::Legacy;
+        q.enqueue(0, l);
+        // With an empty regular channel the request packets are all served,
+        // then the legacy packet.
+        let mut kinds = Vec::new();
+        while let Some(p) = q.dequeue(0) {
+            kinds.push(p.channel);
+        }
+        assert_eq!(kinds.len(), 11);
+        assert_eq!(kinds[10], ChannelClass::Legacy);
+        assert!(kinds[..10].iter().all(|c| *c == ChannelClass::Request));
+    }
+}

@@ -1,0 +1,332 @@
+//! Static network description: nodes, links, routing, and builders for the
+//! paper's evaluation topologies (dumbbell and parking lot).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::packet::{AsNum, HostAddr, LinkAddr};
+use crate::time::Nanos;
+
+/// Index of a node in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host with an address, living in an AS.
+    Host {
+        /// The host's address.
+        addr: HostAddr,
+        /// The AS the host belongs to.
+        as_num: AsNum,
+    },
+    /// A router.
+    Router {
+        /// The AS the router belongs to.
+        as_num: AsNum,
+        /// Whether this is an access router (the trust boundary where
+        /// NetFence polices senders).
+        access: bool,
+    },
+}
+
+/// A node in the network.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Role and addressing of the node.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// The AS this node belongs to.
+    pub fn as_num(&self) -> AsNum {
+        match self.kind {
+            NodeKind::Host { as_num, .. } | NodeKind::Router { as_num, .. } => as_num,
+        }
+    }
+
+    /// The host address, if this node is a host.
+    pub fn host_addr(&self) -> Option<HostAddr> {
+        match self.kind {
+            NodeKind::Host { addr, .. } => Some(addr),
+            NodeKind::Router { .. } => None,
+        }
+    }
+
+    /// Whether this node is an access router.
+    pub fn is_access_router(&self) -> bool {
+        matches!(self.kind, NodeKind::Router { access: true, .. })
+    }
+}
+
+/// Which default queue discipline a link uses (defense systems may override
+/// via their `make_queue` hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Plain FIFO, 200 ms of buffering.
+    DropTail,
+    /// RED with the paper's parameters.
+    Red,
+}
+
+/// A unidirectional link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Sending side.
+    pub from: NodeId,
+    /// Receiving side.
+    pub to: NodeId,
+    /// Protocol-visible link identifier (what NetFence feedback calls the
+    /// link's IP address).
+    pub addr: LinkAddr,
+    /// Capacity in bits per second.
+    pub capacity: u64,
+    /// Propagation delay.
+    pub delay: Nanos,
+    /// Default queue discipline.
+    pub queue: QueueKind,
+}
+
+/// An immutable network description plus derived routing tables.
+#[derive(Debug)]
+pub struct Network {
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// All unidirectional links.
+    pub links: Vec<LinkSpec>,
+    /// Host address → node index.
+    pub host_index: HashMap<HostAddr, NodeId>,
+    /// Per-node next-hop table: `routes[node][dst_host]` = outgoing link
+    /// index.
+    pub routes: Vec<HashMap<HostAddr, usize>>,
+    /// Per-node outgoing link indices.
+    pub out_links: Vec<Vec<usize>>,
+    /// Each host's directly-attached (access) router.
+    pub access_router: HashMap<HostAddr, NodeId>,
+}
+
+impl Network {
+    /// Start building a network.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// The node a host address belongs to.
+    pub fn host_node(&self, addr: HostAddr) -> NodeId {
+        self.host_index[&addr]
+    }
+
+    /// The AS of a host address.
+    pub fn as_of_host(&self, addr: HostAddr) -> AsNum {
+        self.nodes[self.host_node(addr).0].as_num()
+    }
+
+    /// The next-hop link index from `node` toward `dst`, if reachable.
+    pub fn next_hop(&self, node: NodeId, dst: HostAddr) -> Option<usize> {
+        self.routes[node.0].get(&dst).copied()
+    }
+
+    /// Find a link index by its protocol-level address.
+    pub fn link_by_addr(&self, addr: LinkAddr) -> Option<usize> {
+        self.links.iter().position(|l| l.addr == addr)
+    }
+
+    /// The access router a host is attached to (the first router on its
+    /// uplink), if any.
+    pub fn access_router_of(&self, host: HostAddr) -> Option<NodeId> {
+        self.access_router.get(&host).copied()
+    }
+
+    /// All host addresses in the network.
+    pub fn hosts(&self) -> Vec<HostAddr> {
+        let mut v: Vec<HostAddr> = self.host_index.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Builder for [`Network`].
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<Node>,
+    links: Vec<LinkSpec>,
+    next_link_addr: LinkAddr,
+}
+
+impl NetworkBuilder {
+    /// Add a router in `as_num`. `access` marks it as an access router.
+    pub fn router(&mut self, as_num: AsNum, access: bool) -> NodeId {
+        self.nodes.push(Node { kind: NodeKind::Router { as_num, access } });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a host with address `addr` in `as_num`, attached to `router` by a
+    /// duplex link of `capacity`/`delay`.
+    pub fn host(
+        &mut self,
+        addr: HostAddr,
+        as_num: AsNum,
+        router: NodeId,
+        capacity: u64,
+        delay: Nanos,
+    ) -> NodeId {
+        self.nodes.push(Node { kind: NodeKind::Host { addr, as_num } });
+        let id = NodeId(self.nodes.len() - 1);
+        self.duplex(id, router, capacity, delay, QueueKind::DropTail);
+        id
+    }
+
+    /// Add a unidirectional link and return its index.
+    pub fn link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity: u64,
+        delay: Nanos,
+        queue: QueueKind,
+    ) -> usize {
+        self.next_link_addr += 1;
+        let addr = 1_000 + self.next_link_addr;
+        self.links.push(LinkSpec { from, to, addr, capacity, delay, queue });
+        self.links.len() - 1
+    }
+
+    /// Add a duplex link (two unidirectional links); returns the
+    /// (forward, reverse) link indices.
+    pub fn duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: u64,
+        delay: Nanos,
+        queue: QueueKind,
+    ) -> (usize, usize) {
+        let f = self.link(a, b, capacity, delay, queue);
+        let r = self.link(b, a, capacity, delay, queue);
+        (f, r)
+    }
+
+    /// Finalize: computes host index, per-node outgoing links, and shortest
+    /// path (hop count) next-hop routes toward every host.
+    pub fn build(self) -> Network {
+        let NetworkBuilder { nodes, links, .. } = self;
+        let mut host_index = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            if let Some(addr) = n.host_addr() {
+                host_index.insert(addr, NodeId(i));
+            }
+        }
+        let mut out_links = vec![Vec::new(); nodes.len()];
+        for (li, l) in links.iter().enumerate() {
+            out_links[l.from.0].push(li);
+        }
+        // BFS from every host over reversed links to get next hops toward it.
+        let mut routes: Vec<HashMap<HostAddr, usize>> = vec![HashMap::new(); nodes.len()];
+        for (&addr, &host_node) in &host_index {
+            // dist[node] = hops to host; parent_link[node] = link to take.
+            let mut dist = vec![usize::MAX; nodes.len()];
+            let mut via = vec![usize::MAX; nodes.len()];
+            dist[host_node.0] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(host_node.0);
+            while let Some(n) = q.pop_front() {
+                // Consider links arriving at n: their source can reach the
+                // host via that link.
+                for (li, l) in links.iter().enumerate() {
+                    if l.to.0 == n && dist[l.from.0] == usize::MAX {
+                        dist[l.from.0] = dist[n] + 1;
+                        via[l.from.0] = li;
+                        q.push_back(l.from.0);
+                    }
+                }
+            }
+            for (n, &link) in via.iter().enumerate() {
+                if link != usize::MAX {
+                    routes[n].insert(addr, link);
+                }
+            }
+        }
+        // Each host's access router: the node at the far end of its uplink.
+        let mut access_router = HashMap::new();
+        for (&addr, &node) in &host_index {
+            if let Some(&uplink) = out_links[node.0].first() {
+                let peer = links[uplink].to;
+                if matches!(nodes[peer.0].kind, NodeKind::Router { .. }) {
+                    access_router.insert(addr, peer);
+                }
+            }
+        }
+        Network { nodes, links, host_index, routes, out_links, access_router }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MILLI;
+
+    /// A 4-node chain: host A — r1 — r2 — host B.
+    fn chain() -> (Network, HostAddr, HostAddr) {
+        let mut b = Network::builder();
+        let r1 = b.router(1, true);
+        let r2 = b.router(2, false);
+        b.duplex(r1, r2, 10_000_000, 10 * MILLI, QueueKind::Red);
+        let a = 0x0a_00_00_01;
+        let z = 0x0b_00_00_01;
+        b.host(a, 1, r1, 100_000_000, MILLI);
+        b.host(z, 2, r2, 100_000_000, MILLI);
+        (b.build(), a, z)
+    }
+
+    #[test]
+    fn routes_follow_the_chain() {
+        let (net, a, z) = chain();
+        assert_eq!(net.hosts(), vec![a, z]);
+        // From host A's node, the next hop toward Z is A's uplink to r1;
+        // from r1, it is the r1→r2 link; from r2, the link to host Z.
+        let a_node = net.host_node(a);
+        let hop1 = net.next_hop(a_node, z).unwrap();
+        assert_eq!(net.links[hop1].from, a_node);
+        let r1 = net.links[hop1].to;
+        let hop2 = net.next_hop(r1, z).unwrap();
+        let r2 = net.links[hop2].to;
+        let hop3 = net.next_hop(r2, z).unwrap();
+        assert_eq!(net.links[hop3].to, net.host_node(z));
+        // And the reverse path exists.
+        assert!(net.next_hop(net.host_node(z), a).is_some());
+    }
+
+    #[test]
+    fn as_membership_and_access_routers() {
+        let (net, a, z) = chain();
+        assert_eq!(net.as_of_host(a), 1);
+        assert_eq!(net.as_of_host(z), 2);
+        let access_routers: Vec<_> =
+            net.nodes.iter().filter(|n| n.is_access_router()).collect();
+        assert_eq!(access_routers.len(), 1);
+    }
+
+    #[test]
+    fn link_addresses_are_unique_and_resolvable() {
+        let (net, _, _) = chain();
+        let mut addrs: Vec<_> = net.links.iter().map(|l| l.addr).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), net.links.len());
+        for l in &net.links {
+            let idx = net.link_by_addr(l.addr).unwrap();
+            assert_eq!(net.links[idx].addr, l.addr);
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_has_no_route() {
+        let mut b = Network::builder();
+        let r1 = b.router(1, true);
+        let _r2 = b.router(2, false); // not connected
+        let a = 1;
+        b.host(a, 1, r1, 1_000_000, MILLI);
+        let net = b.build();
+        assert_eq!(net.next_hop(NodeId(1), 99), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! UDP traffic agents: constant-bit-rate senders, synchronized on-off
+//! senders (the microscopic on-off attack of §5.2.1 / Figure 11), and the
+//! low-rate receiver→sender feedback echo required by one-way transports
+//! (§3.1 step 4).
+
+use crate::flow::{Flow, FlowActions, FlowProgress};
+use crate::packet::{FlowId, HostAddr, Packet};
+use crate::time::{Nanos, MILLI, SEC};
+
+/// Sending pattern of a UDP flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdpPattern {
+    /// Constant bit rate for the whole simulation.
+    Constant,
+    /// Synchronized on-off: send at the configured rate for `on`, stay
+    /// silent for `off`, repeat. All flows created with the same pattern and
+    /// start time burst in lockstep — the worst case for the defense.
+    OnOff {
+        /// Length of the on-period.
+        on: Nanos,
+        /// Length of the off-period.
+        off: Nanos,
+    },
+}
+
+const TOKEN_SEND: u64 = 1;
+const TOKEN_ECHO: u64 = 2;
+
+/// A one-way UDP flow with an optional on-off duty cycle, plus the
+/// receiver-side low-rate feedback echo.
+#[derive(Debug)]
+pub struct UdpFlow {
+    id: FlowId,
+    src: HostAddr,
+    dst: HostAddr,
+    /// Sending rate during on-periods, bits per second.
+    rate_bps: u64,
+    /// Datagram size in bytes.
+    pkt_size: usize,
+    pattern: UdpPattern,
+    /// Interval between receiver feedback-echo packets.
+    echo_interval: Nanos,
+    /// Size of a feedback-echo packet (92 B: the request-packet estimate of
+    /// §4.6).
+    echo_size: usize,
+    started_at: Nanos,
+    received_since_echo: bool,
+    echo_armed: bool,
+    progress: FlowProgress,
+}
+
+impl UdpFlow {
+    /// Create a constant-bit-rate flow.
+    pub fn cbr(id: FlowId, src: HostAddr, dst: HostAddr, rate_bps: u64) -> Self {
+        Self::new(id, src, dst, rate_bps, UdpPattern::Constant)
+    }
+
+    /// Create a UDP flow with an explicit pattern.
+    pub fn new(id: FlowId, src: HostAddr, dst: HostAddr, rate_bps: u64, pattern: UdpPattern) -> Self {
+        UdpFlow {
+            id,
+            src,
+            dst,
+            rate_bps: rate_bps.max(1),
+            pkt_size: 1500,
+            pattern,
+            echo_interval: 200 * MILLI,
+            echo_size: 92,
+            started_at: 0,
+            received_since_echo: false,
+            echo_armed: false,
+            progress: FlowProgress::default(),
+        }
+    }
+
+    /// Override the datagram size.
+    pub fn with_pkt_size(mut self, size: usize) -> Self {
+        self.pkt_size = size;
+        self
+    }
+
+    /// Time between two datagrams at the configured rate.
+    fn send_interval(&self) -> Nanos {
+        (self.pkt_size as u128 * 8 * SEC as u128 / self.rate_bps as u128) as Nanos
+    }
+
+    /// Whether the flow is inside an on-period at `now`, and if not, when
+    /// the next on-period starts.
+    fn on_phase(&self, now: Nanos) -> Result<(), Nanos> {
+        match self.pattern {
+            UdpPattern::Constant => Ok(()),
+            UdpPattern::OnOff { on, off } => {
+                let cycle = on + off;
+                let pos = (now.saturating_sub(self.started_at)) % cycle;
+                if pos < on {
+                    Ok(())
+                } else {
+                    Err(now + (cycle - pos))
+                }
+            }
+        }
+    }
+}
+
+impl Flow for UdpFlow {
+    fn id(&self) -> FlowId {
+        self.id
+    }
+    fn src(&self) -> HostAddr {
+        self.src
+    }
+    fn dst(&self) -> HostAddr {
+        self.dst
+    }
+
+    fn start(&mut self, now: Nanos) -> FlowActions {
+        self.started_at = now;
+        self.progress.started_transfers = 1;
+        FlowActions::none().with_timer(now, TOKEN_SEND)
+    }
+
+    fn on_packet(&mut self, now: Nanos, pkt: &Packet, at_host: HostAddr) -> FlowActions {
+        let mut actions = FlowActions::none();
+        if at_host == self.dst && pkt.src == self.src {
+            // Receiver side: count goodput and drive the echo timer.
+            self.progress.delivered_bytes += pkt.size as u64;
+            self.received_since_echo = true;
+            if !self.echo_armed {
+                self.echo_armed = true;
+                actions.timers.push((now + self.echo_interval, TOKEN_ECHO));
+            }
+        }
+        actions
+    }
+
+    fn on_timer(&mut self, now: Nanos, token: u64) -> FlowActions {
+        let mut actions = FlowActions::none();
+        match token {
+            TOKEN_SEND => {
+                match self.on_phase(now) {
+                    Ok(()) => {
+                        actions
+                            .packets
+                            .push(Packet::udp(self.id, self.src, self.dst, self.pkt_size, now));
+                        self.progress.packets_sent += 1;
+                        actions.timers.push((now + self.send_interval(), TOKEN_SEND));
+                    }
+                    Err(next_on) => {
+                        actions.timers.push((next_on, TOKEN_SEND));
+                    }
+                }
+            }
+            TOKEN_ECHO => {
+                if self.received_since_echo {
+                    // A small reverse-direction packet that lets the defense
+                    // shim piggyback returned feedback for one-way traffic.
+                    actions
+                        .packets
+                        .push(Packet::udp(self.id, self.dst, self.src, self.echo_size, now));
+                    self.received_since_echo = false;
+                }
+                actions.timers.push((now + self.echo_interval, TOKEN_ECHO));
+            }
+            _ => {}
+        }
+        actions
+    }
+
+    fn progress(&self) -> FlowProgress {
+        self.progress.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(f: &mut UdpFlow, until: Nanos) -> (u64, Vec<Nanos>) {
+        // Run the flow's own timers without any network.
+        let mut timers = f.start(0).timers;
+        let mut sent = 0;
+        let mut times = Vec::new();
+        while let Some(pos) = timers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (t, _))| *t)
+            .map(|(i, _)| i)
+        {
+            let (now, tok) = timers.remove(pos);
+            if now > until {
+                break;
+            }
+            let acts = f.on_timer(now, tok);
+            sent += acts.packets.len() as u64;
+            if !acts.packets.is_empty() {
+                times.push(now);
+            }
+            timers.extend(acts.timers);
+        }
+        (sent, times)
+    }
+
+    #[test]
+    fn cbr_rate_is_accurate() {
+        // 1 Mbps with 1500 B packets => one packet every 12 ms => ~83/s.
+        let mut f = UdpFlow::cbr(0, 1, 2, 1_000_000);
+        let (sent, _) = drain(&mut f, 1 * SEC);
+        assert!((80..=90).contains(&sent), "sent {sent}");
+        assert_eq!(f.progress().packets_sent, sent);
+    }
+
+    #[test]
+    fn onoff_pattern_respects_duty_cycle() {
+        // Ton = 0.5 s, Toff = 1.5 s at 1 Mbps: over 4 s there are two full
+        // on-periods => ~2 × 42 packets, and no packet is timestamped inside
+        // an off-period.
+        let mut f = UdpFlow::new(0, 1, 2, 1_000_000, UdpPattern::OnOff { on: 500 * MILLI, off: 1500 * MILLI });
+        let (sent, times) = drain(&mut f, 4 * SEC);
+        assert!((75..=95).contains(&sent), "sent {sent}");
+        for t in times {
+            let pos = t % (2 * SEC);
+            assert!(pos < 500 * MILLI, "packet sent during off-period at {t}");
+        }
+    }
+
+    #[test]
+    fn receiver_echoes_at_low_rate() {
+        let mut f = UdpFlow::cbr(0, 1, 2, 1_000_000);
+        let _ = f.start(0);
+        // Deliver 100 packets over one second.
+        let mut echo_timers = Vec::new();
+        for i in 0..100u64 {
+            let p = Packet::udp(0, 1, 2, 1500, i * 10 * MILLI);
+            let acts = f.on_packet(i * 10 * MILLI, &p, 2);
+            echo_timers.extend(acts.timers);
+        }
+        // Only one echo timer was armed despite 100 deliveries.
+        assert_eq!(echo_timers.len(), 1);
+        let (at, tok) = echo_timers[0];
+        let acts = f.on_timer(at, tok);
+        // The echo packet travels from the receiver back to the sender and
+        // is small.
+        assert_eq!(acts.packets.len(), 1);
+        let echo = &acts.packets[0];
+        assert_eq!(echo.src, 2);
+        assert_eq!(echo.dst, 1);
+        assert_eq!(echo.size, 92);
+        // Without further deliveries the next echo timer sends nothing.
+        let acts2 = f.on_timer(at + 200 * MILLI, acts.timers[0].1);
+        assert!(acts2.packets.is_empty());
+        assert_eq!(f.progress().delivered_bytes, 150_000);
+    }
+}

@@ -1,0 +1,107 @@
+//! Shim headers attached to simulated packets by the defense systems.
+//!
+//! Each defense system stores its typed header inside the simulator's
+//! type-erased [`Extension`] slot. The extension also reports its wire
+//! length so packet sizes reflect the header overhead the paper accounts
+//! for (§4.6, §6.1).
+
+use std::any::Any;
+
+use netfence_core::header::NetFenceHeader;
+use netfence_core::passport::PASSPORT_HEADER_LEN;
+use netfence_core::types::LinkId;
+use netfence_sim::packet::Extension;
+
+/// The NetFence shim header (plus the Passport header length) carried by a
+/// packet in a NetFence-defended simulation.
+#[derive(Debug, Clone)]
+pub struct NetFenceExt {
+    /// The typed NetFence header.
+    pub header: NetFenceHeader,
+    /// If the packet was held by a per-(sender, bottleneck) rate limiter at
+    /// its access router, the bottleneck link of that limiter (used to
+    /// notify the limiter when the packet is released).
+    pub queued_for: Option<LinkId>,
+}
+
+impl NetFenceExt {
+    /// Wrap a header.
+    pub fn new(header: NetFenceHeader) -> Self {
+        NetFenceExt { header, queued_for: None }
+    }
+}
+
+impl Extension for NetFenceExt {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn clone_box(&self) -> Box<dyn Extension> {
+        Box::new(self.clone())
+    }
+    fn wire_len(&self) -> usize {
+        self.header.nominal_len() + PASSPORT_HEADER_LEN
+    }
+}
+
+/// The TVA+ shim: request packets carry no capability; regular packets are
+/// either authorized (the receiver granted a capability) or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TvaExt {
+    /// A capability request.
+    Request,
+    /// A regular packet; `authorized` is true when the sender holds a
+    /// capability for the destination.
+    Regular {
+        /// Whether a valid capability is attached.
+        authorized: bool,
+    },
+}
+
+impl Extension for TvaExt {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn clone_box(&self) -> Box<dyn Extension> {
+        Box::new(*self)
+    }
+    fn wire_len(&self) -> usize {
+        // TVA's capability header is in the same ballpark as NetFence's
+        // (the paper's Figure 7 compares against TVA+ with similar sizes).
+        match self {
+            TvaExt::Request => 12,
+            TvaExt::Regular { .. } => 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfence_core::feedback::Feedback;
+    use netfence_sim::packet::Packet;
+
+    #[test]
+    fn netfence_ext_roundtrips_through_packet() {
+        let h = NetFenceHeader::regular(6, Feedback::Nop { ts: 1, token: 2 }, None);
+        let mut p = Packet::udp(0, 1, 2, 1500, 0);
+        let wire = NetFenceExt::new(h.clone()).wire_len();
+        assert_eq!(wire, h.nominal_len() + PASSPORT_HEADER_LEN);
+        p.ext = Some(Box::new(NetFenceExt::new(h.clone())));
+        let got = p.ext_as::<NetFenceExt>().unwrap();
+        assert_eq!(got.header, h);
+        let cloned = p.clone();
+        assert_eq!(cloned.ext_as::<NetFenceExt>().unwrap().header, h);
+    }
+
+    #[test]
+    fn tva_ext_sizes() {
+        assert_eq!(TvaExt::Request.wire_len(), 12);
+        assert_eq!(TvaExt::Regular { authorized: true }.wire_len(), 20);
+    }
+}

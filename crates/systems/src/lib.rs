@@ -1,0 +1,35 @@
+//! # netfence-systems
+//!
+//! DoS defense systems bound to the `netfence-sim` discrete-event
+//! simulator:
+//!
+//! * [`netfence`] — the NetFence architecture (this repository's main
+//!   subject), wiring the protocol state machines of `netfence-core` into
+//!   the simulator's forwarding path;
+//! * [`tva`] — the TVA+ capability baseline;
+//! * [`stopit`] — the StopIt filter baseline;
+//! * [`fq`] — per-sender fair queuing at every link;
+//! * [`attacker`] — attack-strategy descriptions shared by the experiment
+//!   harnesses (strategic request priorities, collusion, on-off floods);
+//! * [`headers`] — the shim headers attached to simulated packets.
+//!
+//! All four systems implement `netfence_sim::defense::DefenseSystem`, so an
+//! experiment can swap the defense while keeping the topology and workload
+//! fixed — exactly how the paper's comparison figures are produced.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attacker;
+pub mod fq;
+pub mod headers;
+pub mod netfence;
+pub mod stopit;
+pub mod tva;
+
+pub use attacker::{legitimate_priority_after, strategic_request_priority, AttackStrategy};
+pub use fq::FairQueuingDefense;
+pub use headers::{NetFenceExt, TvaExt};
+pub use netfence::{NetFenceDefense, NetFenceStats};
+pub use stopit::StopItDefense;
+pub use tva::TvaDefense;

@@ -1,0 +1,536 @@
+//! The NetFence defense system bound to the simulator.
+//!
+//! This adapter owns one [`AccessRouter`] per access-router node, one
+//! [`BottleneckLink`] per inter-router link, and the sender/receiver shims
+//! of every host, and wires them into the simulator's forwarding path via
+//! the [`DefenseSystem`] hooks:
+//!
+//! * `on_host_send` — the sender shim builds the NetFence header (request or
+//!   regular, presenting held feedback, echoing feedback for the reverse
+//!   direction);
+//! * `at_router` (access router) — validation, request policing, per-(sender,
+//!   bottleneck) rate limiting, feedback re-stamping (Figure 18);
+//! * `on_link_dequeue` / `on_link_drop` (bottleneck links) — attack
+//!   detection input and `L↓` stamping (§4.3.1–4.3.2);
+//! * `on_host_receive` — the receiver shim records presented feedback and
+//!   the sender shim learns echoed feedback;
+//! * `tick` — control-interval AIMD adjustment and monitoring-cycle
+//!   bookkeeping.
+
+use std::collections::HashMap;
+
+use netfence_core::access::{AccessRouter, AccessVerdict, DropReason};
+use netfence_core::as_police::{AsPolicer, AsPolicingMode};
+use netfence_core::bottleneck::{BottleneckLink, Channel};
+use netfence_core::config::Config;
+use netfence_core::endpoint::{ReceiverPolicy, ReceiverShim, SenderShim};
+use netfence_core::types::{AsId, FlowPair, HostId, LinkId};
+use netfence_crypto::{full_mesh_exchange, AsKeyAgent, AsKeyTable};
+use netfence_sim::defense::{DefenseSystem, RouterAction};
+use netfence_sim::packet::{AsNum, ChannelClass, Extension, HostAddr, LinkAddr, Packet, Protocol};
+use netfence_sim::queue::{DualChannelQueue, PriorityLevelQueue, QueueDisc, RedQueue};
+use netfence_sim::time::Nanos;
+use netfence_sim::topology::{LinkSpec, Network, NodeId};
+
+use crate::headers::NetFenceExt;
+
+/// Aggregate counters for experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NetFenceStats {
+    /// Packets dropped by access-router request limiters.
+    pub request_drops: u64,
+    /// Packets dropped by per-(sender, bottleneck) rate limiters.
+    pub regular_drops: u64,
+    /// Packets dropped by the per-AS damage-localization policer.
+    pub as_policer_drops: u64,
+    /// Packets whose feedback was stamped `L↓` at a bottleneck.
+    pub stamped_decr: u64,
+}
+
+/// The NetFence defense system.
+#[derive(Debug)]
+pub struct NetFenceDefense {
+    cfg: Config,
+    /// Per-access-router protocol state.
+    access: HashMap<NodeId, AccessRouter>,
+    /// Per-bottleneck-link protocol state (keyed by link address).
+    bottlenecks: HashMap<LinkAddr, BottleneckLink>,
+    /// Sender-side shims per host.
+    senders: HashMap<HostAddr, SenderShim>,
+    /// Receiver-side shims per host.
+    receivers: HashMap<HostAddr, ReceiverShim>,
+    /// Hosts whose receivers suppress feedback by default (victims with a
+    /// whitelist).
+    deny_by_default: Vec<HostAddr>,
+    /// Fixed request-priority override for (attacker) hosts.
+    priority_override: HashMap<HostAddr, u8>,
+    /// Optional per-AS damage localization at bottleneck links (§4.5).
+    as_policers: HashMap<LinkAddr, AsPolicer>,
+    as_policing_mode: Option<AsPolicingMode>,
+    /// Per-AS key tables from the Passport-style exchange.
+    as_tables: HashMap<AsNum, AsKeyTable>,
+    /// Statistics.
+    pub stats: NetFenceStats,
+    seed: u64,
+}
+
+impl NetFenceDefense {
+    /// Create a NetFence deployment with the given protocol parameters.
+    pub fn new(cfg: Config) -> Self {
+        NetFenceDefense {
+            cfg,
+            access: HashMap::new(),
+            bottlenecks: HashMap::new(),
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            deny_by_default: Vec::new(),
+            priority_override: HashMap::new(),
+            as_policers: HashMap::new(),
+            as_policing_mode: None,
+            as_tables: HashMap::new(),
+            stats: NetFenceStats::default(),
+            seed: 0x4E46_4E46,
+        }
+    }
+
+    /// Make a receiver suppress feedback for every sender not explicitly
+    /// whitelisted (a victim with a whitelist). Must be called before the
+    /// simulator is constructed.
+    pub fn deny_all_senders(&mut self, receiver: HostAddr) {
+        self.deny_by_default.push(receiver);
+    }
+
+    /// Configure a receiver to suppress feedback for a specific sender
+    /// (classifying it as attack traffic, §3.3).
+    pub fn suppress_sender(&mut self, receiver: HostAddr, sender: HostAddr) {
+        self.receivers
+            .entry(receiver)
+            .or_default()
+            .set_policy(HostId(sender), ReceiverPolicy::Suppress);
+    }
+
+    /// Force a host's request packets to a fixed priority level (used to
+    /// model the strategic attackers of §6.3.1).
+    pub fn set_request_priority(&mut self, host: HostAddr, level: u8) {
+        self.priority_override.insert(host, level);
+    }
+
+    /// Enable per-AS damage localization at every bottleneck link.
+    pub fn enable_as_policing(&mut self, mode: AsPolicingMode) {
+        self.as_policing_mode = Some(mode);
+    }
+
+    /// Number of rate limiters across all access routers (scalability
+    /// metric, §5.1).
+    pub fn total_rate_limiters(&self) -> usize {
+        self.access.values().map(|a| a.limiter_count()).sum()
+    }
+
+    /// Whether the given link is currently in a monitoring cycle.
+    pub fn link_in_mon(&self, link: LinkAddr) -> bool {
+        self.bottlenecks.get(&link).map(|b| b.in_mon()).unwrap_or(false)
+    }
+
+    /// The rate limit an access router currently applies to (sender, link),
+    /// if such a limiter exists.
+    pub fn rate_limit_of(&self, sender: HostAddr, link: LinkAddr) -> Option<u64> {
+        self.access
+            .values()
+            .find_map(|a| a.rate_limit(HostId(sender), LinkId(link)))
+    }
+
+    fn ext_of<'p>(pkt: &'p mut Packet) -> Option<&'p mut NetFenceExt> {
+        pkt.ext_as_mut::<NetFenceExt>()
+    }
+
+    fn channel_of(c: Channel) -> ChannelClass {
+        match c {
+            Channel::Regular => ChannelClass::Regular,
+            Channel::Request => ChannelClass::Request,
+            Channel::Legacy => ChannelClass::Legacy,
+        }
+    }
+}
+
+impl DefenseSystem for NetFenceDefense {
+    fn name(&self) -> &'static str {
+        "netfence"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn install(&mut self, net: &Network) {
+        // 1. Passport-style pairwise keys between all ASes.
+        let mut as_numbers: Vec<AsNum> = net.nodes.iter().map(|n| n.as_num()).collect();
+        as_numbers.sort_unstable();
+        as_numbers.dedup();
+        let agents: Vec<AsKeyAgent> = as_numbers
+            .iter()
+            .map(|&a| AsKeyAgent::new(a, self.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(a as u64 + 1))))
+            .collect();
+        let tables = full_mesh_exchange(&agents);
+        for (i, &a) in as_numbers.iter().enumerate() {
+            let mut table = tables[i].clone();
+            // Also install a self-key so a bottleneck router can stamp L↓
+            // for senders that live in its own AS (the paper's topology
+            // always crosses AS boundaries, but intra-AS bottlenecks are
+            // legitimate deployments too).
+            table.install(a, agents[i].shared_key(a, agents[i].public_value()));
+            self.as_tables.insert(a, table);
+        }
+
+        // 2. One AccessRouter per access-router node; it learns the AS of
+        //    every inter-router link so it can validate L↓ feedback.
+        let inter_router_links: Vec<(usize, &LinkSpec)> = net
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                net.nodes[l.from.0].host_addr().is_none() && net.nodes[l.to.0].host_addr().is_none()
+            })
+            .collect();
+        for (i, node) in net.nodes.iter().enumerate() {
+            if !node.is_access_router() {
+                continue;
+            }
+            let as_num = node.as_num();
+            let mut ka_root = [0u8; 16];
+            ka_root[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
+            ka_root[8..].copy_from_slice(&self.seed.to_be_bytes());
+            let table = self.as_tables.get(&as_num).cloned().unwrap_or_default();
+            let mut access = AccessRouter::new(self.cfg.clone(), AsId(as_num), ka_root, table);
+            for (_, spec) in &inter_router_links {
+                let owner_as = net.nodes[spec.from.0].as_num();
+                access.register_link_as(LinkId(spec.addr), AsId(owner_as));
+            }
+            self.access.insert(NodeId(i), access);
+        }
+
+        // 3. One BottleneckLink per inter-router link.
+        for (_, spec) in &inter_router_links {
+            let owner_as = net.nodes[spec.from.0].as_num();
+            let table = self.as_tables.get(&owner_as).cloned().unwrap_or_default();
+            self.bottlenecks.insert(
+                spec.addr,
+                BottleneckLink::new(LinkId(spec.addr), spec.capacity, table, self.cfg.clone(), 0),
+            );
+            if let Some(mode) = self.as_policing_mode {
+                self.as_policers.insert(spec.addr, AsPolicer::new(mode, spec.capacity, 0));
+            }
+        }
+
+        // 4. Deny-by-default receivers requested before install.
+        for host in self.deny_by_default.clone() {
+            self.receivers.insert(host, ReceiverShim::deny_by_default());
+        }
+    }
+
+    fn make_queue(&mut self, _link_index: usize, spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
+        // Only bottleneck (inter-router) links get the three-channel split;
+        // host access links keep their defaults.
+        if !self.bottlenecks.contains_key(&spec.addr) {
+            return None;
+        }
+        let qlim_bytes = ((spec.capacity as f64 * 0.2 / 8.0) as usize).max(15_000);
+        let regular = Box::new(RedQueue::for_capacity(spec.capacity, self.seed ^ spec.addr as u64));
+        let request = Box::new(PriorityLevelQueue::new(
+            (qlim_bytes as f64 * self.cfg.request_channel_fraction).max(4_600.0) as usize,
+        ));
+        Some(Box::new(DualChannelQueue::new(
+            regular,
+            request,
+            qlim_bytes / 4,
+            spec.capacity,
+            self.cfg.request_channel_fraction,
+        )))
+    }
+
+    fn on_host_send(&mut self, now: Nanos, pkt: &mut Packet) {
+        let proto = match pkt.protocol {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        };
+        let echo = self
+            .receivers
+            .entry(pkt.src)
+            .or_default()
+            .echo_for(HostId(pkt.dst));
+        let sender = self.senders.entry(pkt.src).or_default();
+        let mut header =
+            sender.make_header(now, HostId(pkt.dst), proto, echo, &self.cfg);
+        if header.kind == netfence_core::header::PacketKind::Request {
+            if let Some(&level) = self.priority_override.get(&pkt.src) {
+                header.priority = level;
+            }
+            pkt.channel = ChannelClass::Request;
+        } else {
+            pkt.channel = ChannelClass::Regular;
+        }
+        pkt.priority = header.priority;
+        let ext = NetFenceExt::new(header);
+        pkt.size += ext.wire_len();
+        pkt.ext = Some(Box::new(ext));
+    }
+
+    fn at_router(
+        &mut self,
+        now: Nanos,
+        node: NodeId,
+        is_access: bool,
+        out_link: LinkAddr,
+        pkt: &mut Packet,
+    ) -> RouterAction {
+        if is_access {
+            let Some(access) = self.access.get_mut(&node) else {
+                return RouterAction::Forward;
+            };
+            let flow = FlowPair::new(HostId(pkt.src), HostId(pkt.dst));
+            let size = pkt.size;
+            let Some(ext) = Self::ext_of(pkt) else {
+                // Legacy traffic: forwarded with the lowest priority.
+                pkt.channel = ChannelClass::Legacy;
+                return RouterAction::Forward;
+            };
+            let verdict = access.process_outbound(now, flow, &mut ext.header, size);
+            match verdict {
+                AccessVerdict::Forward { channel } => {
+                    let priority = ext.header.priority;
+                    pkt.channel = Self::channel_of(channel);
+                    pkt.priority = priority;
+                    RouterAction::Forward
+                }
+                AccessVerdict::Queued { release_at } => {
+                    ext.queued_for = ext.header.presented.link();
+                    pkt.channel = ChannelClass::Regular;
+                    RouterAction::Delay { release_at }
+                }
+                AccessVerdict::Drop(reason) => {
+                    match reason {
+                        DropReason::RequestRateLimited => self.stats.request_drops += 1,
+                        DropReason::RegularRateLimited => self.stats.regular_drops += 1,
+                    }
+                    RouterAction::Drop
+                }
+            }
+        } else {
+            // A core/bottleneck router: optional per-AS damage localization
+            // on its outgoing link (only once a monitoring cycle is active).
+            if let Some(policer) = self.as_policers.get_mut(&out_link) {
+                let in_mon = self
+                    .bottlenecks
+                    .get(&out_link)
+                    .map(|b| b.in_mon())
+                    .unwrap_or(false);
+                if in_mon && pkt.channel == ChannelClass::Regular {
+                    let src_as = AsId(pkt.src_as);
+                    if !policer.admit(now, src_as, pkt.size) {
+                        self.stats.as_policer_drops += 1;
+                        return RouterAction::Drop;
+                    }
+                }
+            }
+            RouterAction::Forward
+        }
+    }
+
+    fn on_delayed_release(&mut self, _now: Nanos, pkt: &mut Packet) {
+        let src = pkt.src;
+        let Some(ext) = Self::ext_of(pkt) else { return };
+        if let Some(link) = ext.queued_for.take() {
+            for access in self.access.values_mut() {
+                access.packet_released(HostId(src), link);
+            }
+        }
+    }
+
+    fn on_link_dequeue(&mut self, now: Nanos, link: LinkAddr, pkt: &mut Packet) {
+        let Some(bl) = self.bottlenecks.get_mut(&link) else { return };
+        if pkt.channel == ChannelClass::Regular {
+            bl.record_regular(pkt.size, false);
+        }
+        let flow = FlowPair::new(HostId(pkt.src), HostId(pkt.dst));
+        let src_as = AsId(pkt.src_as);
+        if let Some(ext) = Self::ext_of(pkt) {
+            let outcome = bl.update_feedback(now, flow, src_as, &mut ext.header.presented);
+            if outcome == netfence_core::bottleneck::StampOutcome::StampedDecr {
+                self.stats.stamped_decr += 1;
+            }
+        }
+    }
+
+    fn on_link_drop(&mut self, now: Nanos, link: LinkAddr, pkt: &Packet) {
+        let Some(bl) = self.bottlenecks.get_mut(&link) else { return };
+        if pkt.channel == ChannelClass::Regular {
+            bl.record_regular(pkt.size, true);
+            bl.note_congestion(now);
+        }
+    }
+
+    fn on_host_receive(&mut self, _now: Nanos, pkt: &Packet) {
+        let Some(ext) = pkt.ext.as_ref().and_then(|e| e.as_any().downcast_ref::<NetFenceExt>())
+        else {
+            return;
+        };
+        self.receivers
+            .entry(pkt.dst)
+            .or_default()
+            .packet_received(HostId(pkt.src), ext.header.presented);
+        if let Some(echo) = ext.header.echoed {
+            self.senders
+                .entry(pkt.dst)
+                .or_default()
+                .feedback_returned(HostId(pkt.src), echo);
+        }
+    }
+
+    fn tick(&mut self, now: Nanos) {
+        for access in self.access.values_mut() {
+            access.tick(now);
+        }
+        for bl in self.bottlenecks.values_mut() {
+            bl.tick(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfence_sim::prelude::*;
+
+    const USER: u32 = 0x0a_00_00_01;
+    const ATTACKER: u32 = 0x0a_00_00_02;
+    const VICTIM: u32 = 0x0b_00_00_01;
+    const COLLUDER: u32 = 0x0b_00_00_02;
+
+    /// Two source hosts in AS 1, two destination hosts in AS 3, a 2 Mbps
+    /// bottleneck between the transit routers of AS 1 and AS 2.
+    fn small_net(bottleneck: u64) -> (Network, LinkAddr) {
+        let mut b = Network::builder();
+        let ra = b.router(1, true);
+        let rb = b.router(2, false);
+        let rc = b.router(3, true);
+        let (fwd, _) = b.duplex(ra, rb, bottleneck, 10 * MILLI, QueueKind::Red);
+        b.duplex(rb, rc, bottleneck * 10, 10 * MILLI, QueueKind::Red);
+        b.host(USER, 1, ra, 100_000_000, MILLI);
+        b.host(ATTACKER, 1, ra, 100_000_000, MILLI);
+        b.host(VICTIM, 3, rc, 100_000_000, MILLI);
+        b.host(COLLUDER, 3, rc, 100_000_000, MILLI);
+        let net = b.build();
+        let addr = net.links[fwd].addr;
+        (net, addr)
+    }
+
+    #[test]
+    fn no_attack_means_no_monitoring_and_no_limiters() {
+        let (net, bottleneck) = small_net(5_000_000);
+        let defense = NetFenceDefense::new(Config::short_timers());
+        let mut sim = Simulator::new(
+            net,
+            Box::new(defense),
+            SimConfig { end_time: 10 * SEC, ..Default::default() },
+        );
+        let user = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                USER,
+                VICTIM,
+                TcpWorkload::RepeatedFile { bytes: 20_000, gap: 100 * MILLI },
+                TcpConfig::default(),
+                SimRng::new(1),
+            ))
+        });
+        sim.run();
+        let p = sim.progress(user);
+        assert!(p.completions.len() > 20, "completed {}", p.completions.len());
+        assert_eq!(p.failed_transfers, 0);
+        // Idle state: no monitoring cycle ever starts and no limiter exists.
+        let d = sim.defense.as_any().downcast_ref::<NetFenceDefense>().unwrap();
+        assert!(!d.link_in_mon(bottleneck));
+        assert_eq!(d.total_rate_limiters(), 0);
+        assert!(sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0) < 10);
+    }
+
+    #[test]
+    fn colluding_flood_is_brought_to_fair_share() {
+        // One legitimate TCP user and one attacker→colluder UDP flood share
+        // a 1 Mbps bottleneck. Without NetFence the attacker starves TCP
+        // (cf. engine tests); with NetFence both converge to roughly half.
+        let (net, bottleneck) = small_net(1_000_000);
+        let defense = NetFenceDefense::new(Config::short_timers());
+        let mut sim = Simulator::new(
+            net,
+            Box::new(defense),
+            SimConfig { end_time: 120 * SEC, ..Default::default() },
+        );
+        let user = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                USER,
+                VICTIM,
+                TcpWorkload::LongRunning,
+                TcpConfig::default(),
+                SimRng::new(1),
+            ))
+        });
+        let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 1_000_000)));
+        sim.run();
+        let user_bps = sim.progress(user).goodput_bps(0, 120 * SEC);
+        let attacker_bps = sim.progress(attacker).goodput_bps(0, 120 * SEC);
+        let ratio = user_bps / attacker_bps.max(1.0);
+        assert!(
+            ratio > 0.5,
+            "user should get a comparable share: user {user_bps:.0} bps vs attacker {attacker_bps:.0} bps"
+        );
+        assert!(
+            attacker_bps < 900_000.0,
+            "attacker must not keep the whole bottleneck ({attacker_bps:.0} bps)"
+        );
+        // The bottleneck entered a monitoring cycle and installed
+        // per-(sender, bottleneck) rate limiters.
+        let d = sim.defense.as_any().downcast_ref::<NetFenceDefense>().unwrap();
+        assert!(d.link_in_mon(bottleneck));
+        assert!(d.total_rate_limiters() >= 2, "limiters: {}", d.total_rate_limiters());
+        assert!(sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn victim_suppressing_feedback_starves_attacker_regular_traffic() {
+        let (net, _) = small_net(1_000_000);
+        let mut defense = NetFenceDefense::new(Config::short_timers());
+        // The victim classifies ATTACKER as unwanted and never returns
+        // feedback; the attacker's request packets are also sent at the
+        // lowest priority.
+        defense.suppress_sender(VICTIM, ATTACKER);
+        let mut sim = Simulator::new(
+            net,
+            Box::new(defense),
+            SimConfig { end_time: 30 * SEC, ..Default::default() },
+        );
+        let user = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                USER,
+                VICTIM,
+                TcpWorkload::RepeatedFile { bytes: 20_000, gap: 100 * MILLI },
+                TcpConfig::default(),
+                SimRng::new(1),
+            ))
+        });
+        let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
+        sim.run();
+        let attacker_goodput = sim.progress(attacker).goodput_bps(0, 30 * SEC);
+        // All the attacker can deliver is strictly rate-limited request
+        // traffic: a tiny fraction of its 1 Mbps offered load.
+        assert!(
+            attacker_goodput < 150_000.0,
+            "unwanted traffic must be suppressed, got {attacker_goodput:.0} bps"
+        );
+        // The legitimate user is essentially unaffected.
+        let p = sim.progress(user);
+        assert!(p.completions.len() > 20);
+        assert!(p.avg_transfer_secs().unwrap() < 3.0);
+    }
+}

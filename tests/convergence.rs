@@ -1,0 +1,61 @@
+//! Integration test: the fair-share guarantee of §3.4 / Appendix A.
+//!
+//! G legitimate and B malicious senders share one bottleneck; regardless of
+//! strategy every sender with sufficient demand converges to at least
+//! ν·ρ·C/(G+B). This exercises the AIMD control loop (netfence-core) end to
+//! end in its fluid form and the full packet path in a small simulation.
+
+use netfence_core::aimd::{jain_fairness_index, AimdState};
+use netfence_core::config::Config;
+use netfence_core::feedback::{Action, Feedback};
+use netfence_core::types::{LinkId, SEC};
+use netfence_experiments::fig13::{run_fig10_fluid, run_fig13};
+
+#[test]
+fn aimd_fluid_convergence_to_fair_share() {
+    // 20 senders, one 2 Mbps link: fair share 100 kbps.
+    let cfg = Config::default();
+    let capacity = 2_000_000.0;
+    let n = 20;
+    let mut limiters: Vec<AimdState> = (0..n)
+        .map(|i| AimdState::with_rate(50_000 + 17_000 * (i as u64 % 7), 0))
+        .collect();
+    for step in 1..400u64 {
+        let now = step * cfg.ilim;
+        let total: f64 = limiters.iter().map(|l| l.rate() as f64).sum();
+        let congested = total > capacity;
+        for l in limiters.iter_mut() {
+            if !congested {
+                l.observe(&Feedback::Mon {
+                    link: LinkId(1),
+                    action: Action::Incr,
+                    ts: (now / SEC) as u32,
+                    token: 0,
+                    token_nop: None,
+                });
+            }
+            l.adjust(now, l.rate() as f64, &cfg);
+        }
+    }
+    let rates: Vec<f64> = limiters.iter().map(|l| l.rate() as f64).collect();
+    let fairness = jain_fairness_index(&rates);
+    assert!(fairness > 0.95, "fairness index {fairness}");
+    let rho = (1.0 - cfg.multiplicative_decrease).powi(3);
+    let fair = capacity / n as f64;
+    for r in &rates {
+        assert!(*r >= rho * fair * 0.9, "rate {r} below the ν·ρ·C/N bound ({})", rho * fair);
+    }
+}
+
+#[test]
+fn multibottleneck_designs_restore_fair_share() {
+    // Appendix B: the B.1 design reaches the fair share in all three
+    // capacity cases and never does worse than the single-feedback core
+    // design.
+    let single = run_fig10_fluid(8, 300);
+    let multi = run_fig13(8, 300);
+    for (s, m) in single.iter().zip(&multi) {
+        assert!(m.group_a_user_bps >= 0.7 * m.fair_share_bps, "{}: B.1 user below fair share", m.case.label);
+        assert!(m.group_a_user_bps + 1.0 >= s.group_a_user_bps, "{}: B.1 worse than core", m.case.label);
+    }
+}
