@@ -7,11 +7,11 @@
 //! * the multiplicative-decrease parameter δ (0.1 vs TCP's 0.5) — §4.6.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_core::aimd::AimdState;
 use netfence_core::config::Config;
+use netfence_core::feedback::{Action, Feedback};
 use netfence_core::monitor::BottleneckMonitor;
 use netfence_core::regular_limiter::{BucketVerdict, LeakyBucket};
-use netfence_core::aimd::AimdState;
-use netfence_core::feedback::{Action, Feedback};
 use netfence_core::types::{LinkId, MILLI, SEC};
 
 fn hysteresis(c: &mut Criterion) {
@@ -88,8 +88,7 @@ fn delta_sensitivity(c: &mut Criterion) {
     for delta in [0.1f64, 0.5] {
         g.bench_function(format!("delta_{delta}"), |b| {
             b.iter(|| {
-                let mut cfg = Config::default();
-                cfg.multiplicative_decrease = delta;
+                let cfg = Config { multiplicative_decrease: delta, ..Config::default() };
                 // Two senders converging on a 400 kbps link: measure the
                 // steady-state average rate (larger δ under-utilizes).
                 let mut x = AimdState::with_rate(300_000, 0);

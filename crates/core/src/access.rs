@@ -219,15 +219,13 @@ impl AccessRouter {
     ) -> AccessVerdict {
         let treat_as_request = match header.kind {
             PacketKind::Request => true,
-            PacketKind::Regular => {
-                match self.validate_presented(now, flow, &header.presented) {
-                    Ok(()) => false,
-                    Err(_) => {
-                        self.stats.invalid_feedback += 1;
-                        true
-                    }
+            PacketKind::Regular => match self.validate_presented(now, flow, &header.presented) {
+                Ok(()) => false,
+                Err(_) => {
+                    self.stats.invalid_feedback += 1;
+                    true
                 }
-            }
+            },
         };
 
         if treat_as_request {
@@ -245,10 +243,8 @@ impl AccessRouter {
             Feedback::Mon { link, .. } => {
                 let key = LimiterKey { src: flow.src, link };
                 let cfg = &self.cfg;
-                let limiter = self
-                    .limiters
-                    .entry(key)
-                    .or_insert_with(|| RegularLimiter::new(cfg, now));
+                let limiter =
+                    self.limiters.entry(key).or_insert_with(|| RegularLimiter::new(cfg, now));
                 limiter.aimd.observe(&header.presented);
                 if header.presented.is_decr() {
                     limiter.last_activity = now;
@@ -331,8 +327,9 @@ impl AccessRouter {
         }
         // Reclaim limiters idle for Ta: no L↓ seen and no packet discarded.
         let ta = self.cfg.ta;
-        self.limiters
-            .retain(|_, lim| now.saturating_sub(lim.last_activity) < ta || lim.bucket.queued_pkts() > 0);
+        self.limiters.retain(|_, lim| {
+            now.saturating_sub(lim.last_activity) < ta || lim.bucket.queued_pkts() > 0
+        });
         adjustments
     }
 }
@@ -361,11 +358,7 @@ mod tests {
         let mut access = AccessRouter::new(Config::default(), AsId(1), [7; 16], t1);
         access.register_link_as(LinkId(99), AsId(2));
         let bottleneck_kai = t2.get(1).unwrap().clone();
-        World {
-            access,
-            bottleneck_kai,
-            flow: FlowPair::new(HostId(10), HostId(20)),
-        }
+        World { access, bottleneck_kai, flow: FlowPair::new(HostId(10), HostId(20)) }
     }
 
     fn request_header() -> NetFenceHeader {
@@ -471,10 +464,8 @@ mod tests {
         for i in 0..60 {
             let mut h3 = NetFenceHeader::regular(6, current, None);
             let t = now + i * 60 * crate::types::MILLI;
-            if !matches!(
-                w.access.process_outbound(t, w.flow, &mut h3, PKT),
-                AccessVerdict::Drop(_)
-            ) {
+            if !matches!(w.access.process_outbound(t, w.flow, &mut h3, PKT), AccessVerdict::Drop(_))
+            {
                 offered += 1;
                 current = h3.presented;
             }
@@ -540,7 +531,8 @@ mod tests {
 
         let mut h = NetFenceHeader::request(6, 1, Feedback::Nop { ts: 0, token: 0 });
         access.process_outbound(SEC, flow, &mut h, 92);
-        let decr = feedback::stamp_decr(t2.get(1).unwrap(), flow, LinkId(99), &h.presented).unwrap();
+        let decr =
+            feedback::stamp_decr(t2.get(1).unwrap(), flow, LinkId(99), &h.presented).unwrap();
         let mut h2 = NetFenceHeader::regular(6, decr, None);
         if let AccessVerdict::Queued { .. } = access.process_outbound(SEC, flow, &mut h2, PKT) {
             access.packet_released(flow.src, LinkId(99));

@@ -119,10 +119,7 @@ impl AimdState {
     pub fn adjust(&mut self, now: Nanos, throughput_bps: f64, cfg: &Config) -> Adjustment {
         let decision = if self.has_incr {
             if throughput_bps > self.rate as f64 / 2.0 {
-                self.rate = self
-                    .rate
-                    .saturating_add(cfg.additive_increase)
-                    .min(cfg.max_rate_limit);
+                self.rate = self.rate.saturating_add(cfg.additive_increase).min(cfg.max_rate_limit);
                 Adjustment::Increased
             } else {
                 Adjustment::Kept
@@ -267,12 +264,20 @@ mod tests {
             b.adjust(now, b.rate() as f64, &cfg);
             if round % 50 == 49 {
                 let idx = jain_fairness_index(&[a.rate() as f64, b.rate() as f64]);
-                assert!(idx >= last_index - 1e-6, "fairness index decreased: {last_index} -> {idx}");
+                assert!(
+                    idx >= last_index - 1e-6,
+                    "fairness index decreased: {last_index} -> {idx}"
+                );
                 last_index = idx;
             }
         }
         let ratio = a.rate() as f64 / b.rate() as f64;
-        assert!((0.8..1.25).contains(&ratio), "rates did not converge: {} vs {}", a.rate(), b.rate());
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "rates did not converge: {} vs {}",
+            a.rate(),
+            b.rate()
+        );
         assert!(last_index > 0.99);
     }
 

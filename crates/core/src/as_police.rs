@@ -141,12 +141,8 @@ impl AsPolicer {
         // Active ASes contend for the capacity; each gets an equal share
         // (a single round of max-min since all demands here exceed their
         // shares during an attack).
-        let active: Vec<AsId> = self
-            .per_as
-            .iter()
-            .filter(|(_, s)| s.ewma_rate > 1_000.0)
-            .map(|(a, _)| *a)
-            .collect();
+        let active: Vec<AsId> =
+            self.per_as.iter().filter(|(_, s)| s.ewma_rate > 1_000.0).map(|(a, _)| *a).collect();
         if active.is_empty() {
             return;
         }
@@ -214,11 +210,7 @@ mod tests {
     fn fair_share_mode_limits_every_active_as() {
         let mut p = AsPolicer::new(AsPolicingMode::FairShare, 10_000_000, 0);
         // Two ASes: one floods at 20 Mbps, one sends 2 Mbps.
-        let delivered = run(
-            &mut p,
-            &[(AsId(1), 20_000_000), (AsId(2), 2_000_000)],
-            10,
-        );
+        let delivered = run(&mut p, &[(AsId(1), 20_000_000), (AsId(2), 2_000_000)], 10);
         assert_eq!(p.tracked_ases(), 2);
         assert!(p.limit_of(AsId(1)).is_some());
         // The flooder is confined to roughly its 5 Mbps fair share.
@@ -231,13 +223,8 @@ mod tests {
 
     #[test]
     fn heavy_hitter_mode_only_throttles_the_flooder() {
-        let mut p =
-            AsPolicer::new(AsPolicingMode::HeavyHitter { factor_x100: 150 }, 10_000_000, 0);
-        let delivered = run(
-            &mut p,
-            &[(AsId(1), 20_000_000), (AsId(2), 2_000_000)],
-            10,
-        );
+        let mut p = AsPolicer::new(AsPolicingMode::HeavyHitter { factor_x100: 150 }, 10_000_000, 0);
+        let delivered = run(&mut p, &[(AsId(1), 20_000_000), (AsId(2), 2_000_000)], 10);
         // The compromised AS is detected and limited...
         assert!(p.limit_of(AsId(1)).is_some(), "flooding AS must be detected as a heavy hitter");
         // ...while the well-behaved AS is left alone entirely.

@@ -132,11 +132,7 @@ impl Config {
     /// simulations exercise rate-limiter garbage collection and monitoring
     /// cycle termination without simulating hours.
     pub fn short_timers() -> Self {
-        Config {
-            ta: 60 * SEC,
-            tb: 60 * SEC,
-            ..Config::default()
-        }
+        Config { ta: 60 * SEC, tb: 60 * SEC, ..Config::default() }
     }
 
     /// The request-channel token refill rate in tokens per second implied by
@@ -204,10 +200,12 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_parameters() {
-        let mut c = Config::default();
-        c.multiplicative_decrease = 1.5;
-        c.red_min_thresh_frac = 0.9;
-        c.min_rate_limit = 0;
+        let c = Config {
+            multiplicative_decrease: 1.5,
+            red_min_thresh_frac: 0.9,
+            min_rate_limit: 0,
+            ..Config::default()
+        };
         let problems = c.validate();
         assert_eq!(problems.len(), 3);
     }

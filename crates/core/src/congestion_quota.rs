@@ -48,11 +48,14 @@ impl CongestionQuota {
     /// bottleneck kept reporting `L↓`) — that is the definition of
     /// congestion traffic in §7. Returns `true` if the packet is admitted,
     /// `false` if the sender has exhausted its quota for this link.
-    pub fn admit(&mut self, now: Nanos, key: LimiterKey, bytes: usize, limit_decreasing: bool) -> bool {
-        let st = self
-            .state
-            .entry(key)
-            .or_insert(QuotaState { used: 0, period_start: now });
+    pub fn admit(
+        &mut self,
+        now: Nanos,
+        key: LimiterKey,
+        bytes: usize,
+        limit_decreasing: bool,
+    ) -> bool {
+        let st = self.state.entry(key).or_insert(QuotaState { used: 0, period_start: now });
         if now.saturating_sub(st.period_start) >= self.period {
             st.used = 0;
             st.period_start = now;

@@ -45,7 +45,7 @@ impl SenderShim {
     /// dedicated feedback packet for one-way transports).
     pub fn feedback_returned(&mut self, dst: HostId, fb: Feedback) {
         let entry = self.dests.entry(dst).or_default();
-        let newer = |old: &Option<Feedback>| old.map_or(true, |o| fb.ts() >= o.ts());
+        let newer = |old: &Option<Feedback>| old.is_none_or(|o| fb.ts() >= o.ts());
         if newer(&entry.latest) {
             entry.latest = Some(fb);
         }
@@ -62,9 +62,7 @@ impl SenderShim {
     /// is held (a request packet must be sent).
     pub fn presentable_feedback(&self, now: Nanos, dst: HostId, cfg: &Config) -> Option<Feedback> {
         let entry = self.dests.get(&dst)?;
-        let fresh = |fb: &Option<Feedback>| {
-            fb.filter(|f| !f.is_expired(now, cfg.feedback_expiry))
-        };
+        let fresh = |fb: &Option<Feedback>| fb.filter(|f| !f.is_expired(now, cfg.feedback_expiry));
         fresh(&entry.best_incr).or_else(|| fresh(&entry.latest))
     }
 
@@ -128,10 +126,11 @@ impl SenderShim {
 
 /// How a receiver treats a given sender (§3.3: congestion feedback as
 /// capability).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReceiverPolicy {
     /// Echo feedback back to the sender (normal operation, and what a
     /// colluding receiver does for its attackers).
+    #[default]
     Echo,
     /// Never return feedback: the sender is unwanted and can at most send
     /// strictly rate-limited request packets.
@@ -145,12 +144,6 @@ pub struct ReceiverShim {
     latest: HashMap<HostId, Feedback>,
     policies: HashMap<HostId, ReceiverPolicy>,
     default_policy: ReceiverPolicy,
-}
-
-impl Default for ReceiverPolicy {
-    fn default() -> Self {
-        ReceiverPolicy::Echo
-    }
 }
 
 impl ReceiverShim {
@@ -181,7 +174,7 @@ impl ReceiverShim {
         let newer = self
             .latest
             .get(&sender)
-            .map_or(true, |old| presented.ts() >= old.ts() || presented.is_decr());
+            .is_none_or(|old| presented.ts() >= old.ts() || presented.is_decr());
         if newer {
             self.latest.insert(sender, presented);
         }

@@ -72,18 +72,12 @@ impl Feedback {
 
     /// Whether this is `L↓` feedback (for any link).
     pub fn is_decr(&self) -> bool {
-        matches!(
-            self,
-            Feedback::Mon { action: Action::Decr, .. }
-        )
+        matches!(self, Feedback::Mon { action: Action::Decr, .. })
     }
 
     /// Whether this is `L↑` feedback (for any link).
     pub fn is_incr(&self) -> bool {
-        matches!(
-            self,
-            Feedback::Mon { action: Action::Incr, .. }
-        )
+        matches!(self, Feedback::Mon { action: Action::Incr, .. })
     }
 
     /// The bottleneck link referenced by `mon` feedback, if any.
@@ -239,9 +233,9 @@ pub fn validate<'a>(
             // The token_nop may have been computed under the previous epoch
             // key; accept either epoch by trying both candidate values.
             let candidates = [tnop];
-            let ok = candidates.iter().any(|c| {
-                kai.verify32(decr_input(flow, *ts, *link, *c).as_bytes(), *token)
-            });
+            let ok = candidates
+                .iter()
+                .any(|c| kai.verify32(decr_input(flow, *ts, *link, *c).as_bytes(), *token));
             if ok {
                 Ok(())
             } else {
@@ -269,10 +263,7 @@ mod tests {
         let now = 10 * SEC;
         let fb = stamp_nop(&mut ka, now, flow);
         assert!(fb.is_nop());
-        assert_eq!(
-            validate(&fb, &mut ka, |_| Some(&kai), now + SEC, flow, 4 * SEC),
-            Ok(())
-        );
+        assert_eq!(validate(&fb, &mut ka, |_| Some(&kai), now + SEC, flow, 4 * SEC), Ok(()));
     }
 
     #[test]
@@ -283,10 +274,7 @@ mod tests {
         let fb = stamp_incr(&mut ka, now, flow, link);
         assert!(fb.is_incr());
         assert_eq!(fb.link(), Some(link));
-        assert_eq!(
-            validate(&fb, &mut ka, |_| Some(&kai), now, flow, 4 * SEC),
-            Ok(())
-        );
+        assert_eq!(validate(&fb, &mut ka, |_| Some(&kai), now, flow, 4 * SEC), Ok(()));
     }
 
     #[test]
@@ -298,10 +286,7 @@ mod tests {
         let decr = stamp_decr(&kai, flow, link, &nop).unwrap();
         assert!(decr.is_decr());
         assert_eq!(decr.ts(), nop.ts());
-        assert_eq!(
-            validate(&decr, &mut ka, |_| Some(&kai), now + SEC, flow, 4 * SEC),
-            Ok(())
-        );
+        assert_eq!(validate(&decr, &mut ka, |_| Some(&kai), now + SEC, flow, 4 * SEC), Ok(()));
     }
 
     #[test]
@@ -311,10 +296,7 @@ mod tests {
         let link = LinkId(123);
         let incr = stamp_incr(&mut ka, now, flow, link);
         let decr = stamp_decr(&kai, flow, link, &incr).unwrap();
-        assert_eq!(
-            validate(&decr, &mut ka, |_| Some(&kai), now, flow, 4 * SEC),
-            Ok(())
-        );
+        assert_eq!(validate(&decr, &mut ka, |_| Some(&kai), now, flow, 4 * SEC), Ok(()));
         // The token_nop must have been erased.
         match decr {
             Feedback::Mon { token_nop, .. } => assert!(token_nop.is_none()),
@@ -368,10 +350,7 @@ mod tests {
             Err(FeedbackError::Expired)
         );
         // Within the window it is fine.
-        assert_eq!(
-            validate(&fb, &mut ka, |_| Some(&kai), 13 * SEC, flow, 4 * SEC),
-            Ok(())
-        );
+        assert_eq!(validate(&fb, &mut ka, |_| Some(&kai), 13 * SEC, flow, 4 * SEC), Ok(()));
     }
 
     #[test]

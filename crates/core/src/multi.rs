@@ -71,7 +71,11 @@ impl MultiFeedback {
     /// Appendix B.1).
     pub fn origin(ka: &mut TimeVaryingSecret, now: Nanos, flow: FlowPair) -> Self {
         let ts = nanos_to_secs(now);
-        MultiFeedback { ts, entries: Vec::new(), token: ka.mac32(now, origin_input(flow, ts).as_bytes()) }
+        MultiFeedback {
+            ts,
+            entries: Vec::new(),
+            token: ka.mac32(now, origin_input(flow, ts).as_bytes()),
+        }
     }
 
     /// Append a bottleneck's feedback, extending the MAC chain (Eq. 5).
@@ -244,10 +248,7 @@ impl InferenceCache {
         let last_seen = &self.last_seen;
         let Some(set) = self.prefix_links.get_mut(&p) else { return Vec::new() };
         set.retain(|l| {
-            last_seen
-                .get(&(p, *l))
-                .map(|t| now.saturating_sub(*t) < expiry)
-                .unwrap_or(false)
+            last_seen.get(&(p, *l)).map(|t| now.saturating_sub(*t) < expiry).unwrap_or(false)
         });
         let mut v: Vec<LinkId> = set.iter().copied().collect();
         v.sort_unstable();
@@ -323,8 +324,7 @@ mod tests {
     use netfence_crypto::{full_mesh_exchange, AsKeyAgent};
 
     fn setup() -> (AccessRouter, Cmac, Cmac, FlowPair) {
-        let agents =
-            vec![AsKeyAgent::new(1, 11), AsKeyAgent::new(2, 22), AsKeyAgent::new(3, 33)];
+        let agents = vec![AsKeyAgent::new(1, 11), AsKeyAgent::new(2, 22), AsKeyAgent::new(3, 33)];
         let mut tables = full_mesh_exchange(&agents);
         let t1 = tables.remove(0);
         let t2 = tables.remove(0);
@@ -366,7 +366,13 @@ mod tests {
             let ka = &mut access.ka;
             let link_as = &access.link_as;
             let as_keys = &access.as_keys;
-            forged.validate(ka, |l| link_as.get(&l).and_then(|a| as_keys.get(a.0)), SEC, flow, 4 * SEC)
+            forged.validate(
+                ka,
+                |l| link_as.get(&l).and_then(|a| as_keys.get(a.0)),
+                SEC,
+                flow,
+                4 * SEC,
+            )
         };
         assert!(!ok);
     }

@@ -92,11 +92,7 @@ pub enum PassportCheck {
 }
 
 /// Verify a Passport header at `verifier_as` using its pairwise key table.
-pub fn verify(
-    keys: &AsKeyTable,
-    header: &PassportHeader,
-    cov: &PassportCoverage,
-) -> PassportCheck {
+pub fn verify(keys: &AsKeyTable, header: &PassportHeader, cov: &PassportCoverage) -> PassportCheck {
     match keys.get(header.src_as.0) {
         None => PassportCheck::NoKey,
         Some(cmac) => {
@@ -145,10 +141,8 @@ mod tests {
         // AS 102 stamps a header claiming to be AS 100: the MAC is computed
         // under key(102,101), not key(100,101), so verification at AS 101
         // fails.
-        let forged = PassportHeader {
-            src_as: AsId(100),
-            mac: t[2].get(101).unwrap().mac32(b"whatever"),
-        };
+        let forged =
+            PassportHeader { src_as: AsId(100), mac: t[2].get(101).unwrap().mac32(b"whatever") };
         assert_eq!(verify(&t[1], &forged, &cov), PassportCheck::Invalid);
     }
 

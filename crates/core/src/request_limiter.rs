@@ -122,8 +122,7 @@ mod tests {
     /// A small bucket (depth 16) to exercise exhaustion without thousands
     /// of packets.
     fn small_limiter() -> RequestLimiter {
-        let mut cfg = Config::default();
-        cfg.request_bucket_depth = 16.0;
+        let cfg = Config { request_bucket_depth: 16.0, ..Config::default() };
         RequestLimiter::new(&cfg, 0, 1.0)
     }
 

@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of the [criterion](https://docs.rs/criterion)
+//! 0.5 API that `netfence-bench` uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! criterion crate cannot be fetched. This shim keeps every bench target
+//! compiling and runnable (`cargo bench` prints a mean-time table) with the
+//! same source code, so swapping the workspace dependency back to the real
+//! criterion needs no bench changes. It implements:
+//!
+//! * [`Criterion`], [`Criterion::benchmark_group`];
+//! * [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::measurement_time`],
+//!   [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::finish`];
+//! * [`Criterion::bench_function`];
+//! * [`Bencher::iter`];
+//! * the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each bench function is warmed up once, then timed over
+//! `sample_size` samples (default 10) or until `measurement_time` elapses,
+//! whichever comes first; the mean ns/iter is printed. This is deliberately
+//! much cheaper than real criterion (no outlier analysis, no HTML reports) —
+//! good enough for the relative comparisons the figures need.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (shim).
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10, default_measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _criterion: self,
+        };
+        println!("\n{}", group.name);
+        group
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        run_one("", id, sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings (shim).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Cap the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`] (shim).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(group: &str, id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + calibration: one iteration tells us roughly how expensive the
+    // routine is so we can pick an iteration count per sample.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target_sample =
+        (measurement_time / (sample_size as u32 * 2)).max(Duration::from_micros(10));
+    let iters_per_sample =
+        (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let deadline = Instant::now() + measurement_time;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for s in 0..sample_size {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+        if s + 1 < sample_size && Instant::now() > deadline {
+            break;
+        }
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    println!("  {label:<48} {:>14} ns/iter ({total_iters} iters)", format_ns(mean_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1000.0 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Shim for criterion's `criterion_group!`: collects bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Shim for criterion's `criterion_main!`: generates `main` running each
+/// group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(3).measurement_time(Duration::from_millis(20));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_timing_work() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

@@ -151,12 +151,7 @@ fn shift_rows(state: &mut [u8; BLOCK_SIZE]) {
 #[inline]
 fn mix_columns(state: &mut [u8; BLOCK_SIZE]) {
     for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
         let t = col[0] ^ col[1] ^ col[2] ^ col[3];
         state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
         state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);

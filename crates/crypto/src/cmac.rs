@@ -68,7 +68,7 @@ impl Cmac {
         let (n_blocks, last_complete) = if n_blocks == 0 {
             (1, false)
         } else {
-            (n_blocks, msg.len() % BLOCK_SIZE == 0)
+            (n_blocks, msg.len().is_multiple_of(BLOCK_SIZE))
         };
 
         let mut x = [0u8; BLOCK_SIZE];

@@ -89,11 +89,8 @@ impl AsKeyAgent {
     /// unordered AS pair (smaller ASN first) plus the DH shared secret.
     pub fn shared_key(&self, peer_asn: AsNumber, peer_public: u64) -> [u8; 16] {
         let secret = powmod(peer_public, self.private, DH_PRIME);
-        let (lo, hi) = if self.asn <= peer_asn {
-            (self.asn, peer_asn)
-        } else {
-            (peer_asn, self.asn)
-        };
+        let (lo, hi) =
+            if self.asn <= peer_asn { (self.asn, peer_asn) } else { (peer_asn, self.asn) };
         let mut key = [0u8; 16];
         key[..8].copy_from_slice(&secret.to_be_bytes());
         key[8..12].copy_from_slice(&lo.to_be_bytes());
@@ -182,9 +179,8 @@ mod tests {
 
     #[test]
     fn full_mesh_tables_are_symmetric() {
-        let agents: Vec<_> = (0..5)
-            .map(|i| AsKeyAgent::new(1000 + i, 7919 * (i as u64 + 1)))
-            .collect();
+        let agents: Vec<_> =
+            (0..5).map(|i| AsKeyAgent::new(1000 + i, 7919 * (i as u64 + 1))).collect();
         let tables = full_mesh_exchange(&agents);
         assert_eq!(tables.len(), 5);
         for t in &tables {

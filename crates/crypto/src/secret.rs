@@ -64,13 +64,7 @@ impl TimeVaryingSecret {
         // Epoch 0 has no predecessor; use epoch 0 for both so validation
         // still works uniformly.
         let previous = current.clone();
-        TimeVaryingSecret {
-            root,
-            period,
-            cached_epoch: 0,
-            current,
-            previous,
-        }
+        TimeVaryingSecret { root, period, cached_epoch: 0, current, previous }
     }
 
     /// The rotation period.

@@ -18,9 +18,6 @@ fn main() {
         })
         .collect();
     println!("Figure 7: per-packet processing overhead (ns/pkt), {iters} packets per cell\n");
-    println!(
-        "{}",
-        render_table(&["packet", "router", "condition", "NetFence", "TVA+"], &table)
-    );
+    println!("{}", render_table(&["packet", "router", "condition", "NetFence", "TVA+"], &table));
     println!("Note: software AES on this host; the paper used a 3 GHz Xeon with the same relative structure.");
 }

@@ -23,8 +23,5 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(&["senders", "system", "avg transfer (s)", "completed"], &rows)
-    );
+    println!("{}", render_table(&["senders", "system", "avg transfer (s)", "completed"], &rows));
 }

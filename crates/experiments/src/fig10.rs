@@ -10,8 +10,7 @@
 
 use netfence_sim::prelude::*;
 
-use crate::scenario::{make_defense, netfence_config, DefenseKind, Scale};
-use netfence_systems::NetFenceDefense;
+use crate::prelude::*;
 
 /// One capacity configuration of Figure 10/13/14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,92 +38,6 @@ pub struct Fig10Point {
     pub fair_share_bps: f64,
 }
 
-/// A built parking-lot scenario.
-#[derive(Debug)]
-pub struct ParkingLot {
-    /// The network.
-    pub net: Network,
-    /// Link address of L1.
-    pub l1: LinkAddr,
-    /// Link address of L2.
-    pub l2: LinkAddr,
-    /// Group A (crosses both links): (users, attackers, victim, colluder).
-    pub group_a: Group,
-    /// Group B (crosses only L2).
-    pub group_b: Group,
-    /// Group C (crosses only L1).
-    pub group_c: Group,
-}
-
-/// One sender group of the parking-lot scenario.
-#[derive(Debug, Clone)]
-pub struct Group {
-    /// Legitimate senders.
-    pub users: Vec<HostAddr>,
-    /// Attackers.
-    pub attackers: Vec<HostAddr>,
-    /// The group's victim destination (users send here).
-    pub victim: HostAddr,
-    /// The group's colluder destination (attackers send here).
-    pub colluder: HostAddr,
-}
-
-/// Build the parking-lot topology: `R0 —L1→ R1 —L2→ R2`, with each group's
-/// senders and destinations attached so that the paper's crossing pattern
-/// holds.
-pub fn build_parking_lot(per_group: usize, legit_per_group: usize, l1_bps: u64, l2_bps: u64) -> ParkingLot {
-    let mut b = Network::builder();
-    let r0 = b.router(100, false);
-    let r1 = b.router(101, false);
-    let r2 = b.router(102, false);
-    let access_cap = (l1_bps.max(l2_bps) * 10).max(100_000_000);
-    let l1_idx = b.link(r0, r1, l1_bps, 10 * MILLI, QueueKind::Red);
-    b.link(r1, r0, l1_bps, 10 * MILLI, QueueKind::Red);
-    let l2_idx = b.link(r1, r2, l2_bps, 10 * MILLI, QueueKind::Red);
-    b.link(r2, r1, l2_bps, 10 * MILLI, QueueKind::Red);
-
-    let make_group = |asn_src: u32,
-                          asn_dst: u32,
-                          src_router_target,
-                          dst_router_target,
-                          base_addr: u32,
-                          b: &mut NetworkBuilder|
-     -> Group {
-        let ra = b.router(asn_src, true);
-        b.duplex(ra, src_router_target, access_cap, 5 * MILLI, QueueKind::DropTail);
-        let rd = b.router(asn_dst, true);
-        b.duplex(dst_router_target, rd, access_cap, 5 * MILLI, QueueKind::DropTail);
-        let mut users = Vec::new();
-        let mut attackers = Vec::new();
-        for h in 0..per_group {
-            let addr = base_addr + h as u32 + 1;
-            b.host(addr, asn_src, ra, access_cap, MILLI);
-            if h < legit_per_group {
-                users.push(addr);
-            } else {
-                attackers.push(addr);
-            }
-        }
-        let victim = base_addr + 0xF1;
-        let colluder = base_addr + 0xF2;
-        b.host(victim, asn_dst, rd, access_cap, MILLI);
-        b.host(colluder, asn_dst, rd, access_cap, MILLI);
-        Group { users, attackers, victim, colluder }
-    };
-
-    // Group A: sources before L1, destinations after L2.
-    let group_a = make_group(1, 11, r0, r2, 0x0A01_0000, &mut b);
-    // Group B: sources before L2 (at R1), destinations after L2.
-    let group_b = make_group(2, 12, r1, r2, 0x0A02_0000, &mut b);
-    // Group C: sources before L1, destinations between L1 and L2 (at R1).
-    let group_c = make_group(3, 13, r0, r1, 0x0A03_0000, &mut b);
-
-    let net = b.build();
-    let l1 = net.links[l1_idx].addr;
-    let l2 = net.links[l2_idx].addr;
-    ParkingLot { net, l1, l2, group_a, group_b, group_c }
-}
-
 /// The three capacity configurations of Figure 10, scaled so that a Group-A
 /// sender's max-min fair share is `fair_share_bps` in the symmetric case.
 pub fn capacity_cases(senders_per_link: usize, fair_share_bps: u64) -> [CapacityCase; 3] {
@@ -137,131 +50,49 @@ pub fn capacity_cases(senders_per_link: usize, fair_share_bps: u64) -> [Capacity
     ]
 }
 
-/// Run one capacity case of Figure 10.
-pub fn run_fig10_case(scale: &Scale, system: DefenseKind, case: CapacityCase) -> Fig10Point {
-    // Group size scales with the configured hosts-per-AS (25% users as in
-    // the paper).
-    let per_group = scale.hosts_per_as.max(4);
-    let legit = (per_group / 4).max(1);
-    let lot = build_parking_lot(per_group, legit, case.l1_bps, case.l2_bps);
-    // Group A + Group C cross L1; Group A + Group B cross L2.
-    let crossing = 2 * per_group;
-    let fair_share = case.l1_bps.min(case.l2_bps) as f64 / crossing as f64;
+/// The Figure 10 scenario: the parking lot with 25% long-running TCP users
+/// per group and colluding CBR attackers.
+pub fn fig10_spec(scale: &Scale, system: DefenseKind, case: CapacityCase) -> ScenarioSpec {
+    ScenarioSpec::parking_lot(*scale, case.l1_bps, case.l2_bps)
+        .named("fig10-parking-lot")
+        .defense(system)
+        .users(TrafficSpec::LongRunningTcp)
+        .user_start(StartSchedule::staggered(20, 50 * MILLI))
+        .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Colluders { ases: 1 })
+        .attacker_start(StartSchedule::staggered(50, MILLI))
+}
 
-    let defense: Box<dyn DefenseSystem> = match system {
-        DefenseKind::NetFence => Box::new(NetFenceDefense::new(netfence_config())),
-        other => {
-            // Reuse the generic factory for baselines (no victim suppression
-            // in the colluding scenario).
-            let dummy = crate::scenario::build_dumbbell(scale, 1, case.l1_bps, 1);
-            make_defense(other, &dummy, false)
-        }
-    };
-
-    let mut sim = Simulator::new(
-        build_parking_lot(per_group, legit, case.l1_bps, case.l2_bps).net,
-        defense,
-        SimConfig { end_time: scale.sim_time, seed: scale.seed, ..Default::default() },
-    );
-
-    let mut a_users = Vec::new();
-    let mut a_attackers = Vec::new();
-    let mut seed = scale.seed;
-    let mut add_group = |sim: &mut Simulator, g: &Group, users_out: Option<&mut Vec<FlowId>>, attackers_out: Option<&mut Vec<FlowId>>| {
-        let mut users_tmp = Vec::new();
-        let mut attackers_tmp = Vec::new();
-        for (i, &u) in g.users.iter().enumerate() {
-            seed += 1;
-            let victim = g.victim;
-            let s = seed;
-            users_tmp.push(sim.add_flow((i as u64 % 20) * 50 * MILLI, |id| {
-                Box::new(TcpFlow::new(
-                    id,
-                    u,
-                    victim,
-                    TcpWorkload::LongRunning,
-                    TcpConfig::default(),
-                    SimRng::new(s),
-                ))
-            }));
-        }
-        for (i, &a) in g.attackers.iter().enumerate() {
-            let colluder = g.colluder;
-            attackers_tmp.push(sim.add_flow((i as u64 % 50) * MILLI, |id| {
-                Box::new(UdpFlow::cbr(id, a, colluder, 1_000_000))
-            }));
-        }
-        if let Some(out) = users_out {
-            *out = users_tmp;
-        }
-        if let Some(out) = attackers_out {
-            *out = attackers_tmp;
-        }
-    };
-    add_group(&mut sim, &lot.group_a, Some(&mut a_users), Some(&mut a_attackers));
-    add_group(&mut sim, &lot.group_b, None, None);
-    add_group(&mut sim, &lot.group_c, None, None);
-
-    sim.run();
-    let avg = |flows: &[FlowId]| -> f64 {
-        if flows.is_empty() {
-            return 0.0;
-        }
-        flows.iter().map(|&f| sim.progress(f).goodput_bps(0, scale.sim_time)).sum::<f64>()
-            / flows.len() as f64
-    };
+fn to_point(case: CapacityCase, system: DefenseKind, r: &Record) -> Fig10Point {
     Fig10Point {
         case,
         system,
-        group_a_user_bps: avg(&a_users),
-        group_a_attacker_bps: avg(&a_attackers),
-        fair_share_bps: fair_share,
+        group_a_user_bps: r.group_avg_bps("A-users"),
+        group_a_attacker_bps: r.group_avg_bps("A-attackers"),
+        fair_share_bps: r.fair_share_bps,
     }
 }
 
+/// Run one capacity case of Figure 10.
+pub fn run_fig10_case(scale: &Scale, system: DefenseKind, case: CapacityCase) -> Fig10Point {
+    let r = Runner::new(fig10_spec(scale, system, case)).run();
+    to_point(case, system, &r)
+}
+
 /// Run all three capacity cases with NetFence (the paper's Figure 10 only
-/// shows NetFence).
+/// shows NetFence), in parallel.
 pub fn run_fig10(scale: &Scale) -> Vec<Fig10Point> {
     let per_group = scale.hosts_per_as.max(4);
-    capacity_cases(2 * per_group, 80_000)
-        .into_iter()
-        .map(|case| run_fig10_case(scale, DefenseKind::NetFence, case))
+    SweepGrid::new([DefenseKind::NetFence], capacity_cases(2 * per_group, 80_000).to_vec())
+        .run_auto(|system, case| fig10_spec(scale, system, *case))
+        .iter()
+        .map(|c| to_point(c.point, c.system, &c.record))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parking_lot_routing_crosses_the_right_links() {
-        let lot = build_parking_lot(4, 1, 1_000_000, 1_000_000);
-        let l1 = lot.net.link_by_addr(lot.l1).unwrap();
-        let l2 = lot.net.link_by_addr(lot.l2).unwrap();
-        let crosses = |src: HostAddr, dst: HostAddr, link: usize| -> bool {
-            let mut node = lot.net.host_node(src);
-            for _ in 0..12 {
-                match lot.net.next_hop(node, dst) {
-                    Some(l) => {
-                        if l == link {
-                            return true;
-                        }
-                        node = lot.net.links[l].to;
-                    }
-                    None => return false,
-                }
-            }
-            false
-        };
-        // Group A crosses both links.
-        assert!(crosses(lot.group_a.users[0], lot.group_a.victim, l1));
-        assert!(crosses(lot.group_a.users[0], lot.group_a.victim, l2));
-        // Group B crosses only L2, group C only L1.
-        assert!(!crosses(lot.group_b.attackers[0], lot.group_b.colluder, l1));
-        assert!(crosses(lot.group_b.attackers[0], lot.group_b.colluder, l2));
-        assert!(crosses(lot.group_c.attackers[0], lot.group_c.colluder, l1));
-        assert!(!crosses(lot.group_c.attackers[0], lot.group_c.colluder, l2));
-    }
+    use netfence_sim::time::SEC;
 
     #[test]
     fn symmetric_case_gives_group_a_a_nontrivial_share() {

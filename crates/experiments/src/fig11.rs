@@ -9,7 +9,7 @@
 
 use netfence_sim::prelude::*;
 
-use crate::scenario::{build_dumbbell, collect_outcome, make_defense, DefenseKind, Scale};
+use crate::prelude::*;
 
 /// One point of Figure 11.
 #[derive(Debug, Clone)]
@@ -24,62 +24,50 @@ pub struct Fig11Point {
     pub fair_share_bps: u64,
 }
 
-/// Run one (Ton, Toff) cell with NetFence.
-pub fn run_fig11_cell(scale: &Scale, fair_share: u64, ton: Nanos, toff: Nanos) -> Fig11Point {
-    let bottleneck_bps = fair_share * scale.senders() as u64;
-    let legit_per_as = (scale.hosts_per_as / 4).max(1);
+/// The Figure 11 scenario: 25% long-running TCP users, synchronized on-off
+/// UDP attackers flooding colluders. All attackers start at the same
+/// instant so their bursts align — the worst case discussed in §5.2.1.
+pub fn fig11_spec(scale: &Scale, fair_share: u64, ton: Nanos, toff: Nanos) -> ScenarioSpec {
     let colluders = 3.min(scale.src_ases).max(1);
-    let d = build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders);
-    let defense = make_defense(DefenseKind::NetFence, &d, false);
-    let mut sim = Simulator::new(
-        build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders).net,
-        defense,
-        SimConfig { end_time: scale.sim_time, seed: scale.seed, ..Default::default() },
-    );
-    let mut user_flows = Vec::new();
-    let mut attacker_flows = Vec::new();
-    for (i, &u) in d.users.iter().enumerate() {
-        let victim = d.victim;
-        let seed = scale.seed ^ (i as u64 + 1);
-        user_flows.push(sim.add_flow((i as u64 % 20) * 50 * MILLI, |id| {
-            Box::new(TcpFlow::new(
-                id,
-                u,
-                victim,
-                TcpWorkload::LongRunning,
-                TcpConfig::default(),
-                SimRng::new(seed),
-            ))
-        }));
-    }
-    for (i, &a) in d.attackers.iter().enumerate() {
-        let colluder = d.colluders[i % d.colluders.len()];
-        // All attackers start at the same instant so their bursts are
-        // synchronized — the worst case discussed in §5.2.1.
-        attacker_flows.push(sim.add_flow(0, |id| {
-            Box::new(UdpFlow::new(id, a, colluder, 1_000_000, UdpPattern::OnOff { on: ton, off: toff }))
-        }));
-    }
-    sim.run();
-    let outcome = collect_outcome(&sim, &user_flows, &attacker_flows, d.bottleneck, bottleneck_bps);
-    Fig11Point {
-        ton,
-        toff,
-        avg_user_bps: outcome.avg_user_bps(scale.sim_time),
-        fair_share_bps: fair_share,
-    }
+    ScenarioSpec::dumbbell(*scale)
+        .named("fig11-onoff")
+        .defense(DefenseKind::NetFence)
+        .fair_share(fair_share)
+        .legit_fraction(0.25)
+        .users(TrafficSpec::LongRunningTcp)
+        .user_start(StartSchedule::staggered(20, 50 * MILLI))
+        .attackers(
+            TrafficSpec::on_off(1_000_000, ton, toff),
+            AttackTarget::Colluders { ases: colluders },
+        )
+        .attacker_start(StartSchedule::Synchronized)
 }
 
-/// Run the Figure 11 sweep: Ton ∈ {0.5 s, 4 s}, Toff swept from 1.5 s to
-/// `max_toff`.
+/// Run one (Ton, Toff) cell with NetFence.
+pub fn run_fig11_cell(scale: &Scale, fair_share: u64, ton: Nanos, toff: Nanos) -> Fig11Point {
+    let r = Runner::new(fig11_spec(scale, fair_share, ton, toff)).run();
+    Fig11Point { ton, toff, avg_user_bps: r.avg_user_bps(), fair_share_bps: fair_share }
+}
+
+/// Run the Figure 11 sweep in parallel: Ton ∈ {0.5 s, 4 s}, Toff from
+/// `toffs_secs`.
 pub fn run_fig11(scale: &Scale, fair_share: u64, toffs_secs: &[f64]) -> Vec<Fig11Point> {
-    let mut points = Vec::new();
+    let mut points: Vec<(Nanos, Nanos)> = Vec::new();
     for &ton_s in &[0.5f64, 4.0] {
         for &toff_s in toffs_secs {
-            points.push(run_fig11_cell(scale, fair_share, secs(ton_s), secs(toff_s)));
+            points.push((secs(ton_s), secs(toff_s)));
         }
     }
-    points
+    SweepGrid::new([DefenseKind::NetFence], points)
+        .run_auto(|_, &(ton, toff)| fig11_spec(scale, fair_share, ton, toff))
+        .iter()
+        .map(|c| Fig11Point {
+            ton: c.point.0,
+            toff: c.point.1,
+            avg_user_bps: c.record.avg_user_bps(),
+            fair_share_bps: fair_share,
+        })
+        .collect()
 }
 
 #[cfg(test)]

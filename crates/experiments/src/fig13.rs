@@ -136,7 +136,8 @@ pub fn run_fluid_case(
 
         // Feedback distribution + AIMD adjustment per sender.
         for (s, sender) in senders.iter_mut().enumerate() {
-            let rate = sender.efficiency * sender.limiters.iter().map(|l| l.rate() as f64).fold(f64::MAX, f64::min);
+            let rate = sender.efficiency
+                * sender.limiters.iter().map(|l| l.rate() as f64).fold(f64::MAX, f64::min);
             match design {
                 MultiBottleneckDesign::SingleFeedback => {
                     // The most upstream congested on-path link stamps L↓ and
@@ -288,11 +289,7 @@ mod tests {
     fn inference_equalizes_users_and_attackers() {
         for p in run_fig14(8, 400) {
             let ratio = p.group_a_user_bps / p.group_a_attacker_bps.max(1.0);
-            assert!(
-                (0.7..=1.3).contains(&ratio),
-                "{}: user/attacker ratio {ratio}",
-                p.case.label
-            );
+            assert!((0.7..=1.3).contains(&ratio), "{}: user/attacker ratio {ratio}", p.case.label);
         }
     }
 

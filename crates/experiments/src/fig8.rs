@@ -9,9 +9,7 @@
 
 use netfence_sim::prelude::*;
 
-use crate::scenario::{
-    build_dumbbell, collect_outcome, make_defense, DefenseKind, Scale,
-};
+use crate::prelude::*;
 
 /// One point of Figure 8.
 #[derive(Debug, Clone)]
@@ -33,62 +31,51 @@ pub struct Fig8Point {
 pub const FIG8_SWEEP: [(u64, u64); 4] =
     [(25_000, 400_000), (50_000, 200_000), (100_000, 100_000), (200_000, 50_000)];
 
-/// Run one (system, sweep point) cell and return its Figure 8 point.
-pub fn run_fig8_cell(scale: &Scale, system: DefenseKind, represented: u64, fair_share: u64) -> Fig8Point {
-    let bottleneck_bps = fair_share * scale.senders() as u64;
-    let d = build_dumbbell(scale, 1, bottleneck_bps, 0);
-    let defense = make_defense(system, &d, true);
-    let mut sim = Simulator::new(
-        // Rebuilding the network is cheap; the Dumbbell keeps only metadata.
-        build_dumbbell(scale, 1, bottleneck_bps, 0).net,
-        defense,
-        SimConfig { end_time: scale.sim_time, seed: scale.seed, ..Default::default() },
-    );
-    let mut user_flows = Vec::new();
-    let mut attacker_flows = Vec::new();
-    for (i, &u) in d.users.iter().enumerate() {
-        let victim = d.victim;
-        let seed = scale.seed ^ (i as u64 + 1);
-        user_flows.push(sim.add_flow((i as u64 % 10) * 100 * MILLI, |id| {
-            Box::new(TcpFlow::new(
-                id,
-                u,
-                victim,
-                // A 5 s gap keeps each transfer outside the 4 s feedback /
-                // capability lifetime so that every transfer pays the full
-                // connection-setup cost, as in the paper's experiment.
-                TcpWorkload::RepeatedFile { bytes: 20_000, gap: 5 * SEC },
-                TcpConfig::default(),
-                SimRng::new(seed),
-            ))
-        }));
-    }
-    for (i, &a) in d.attackers.iter().enumerate() {
-        let victim = d.victim;
-        attacker_flows.push(sim.add_flow((i as u64 % 100) * MILLI, |id| {
-            Box::new(UdpFlow::cbr(id, a, victim, 1_000_000))
-        }));
-    }
-    sim.run();
-    let outcome = collect_outcome(&sim, &user_flows, &attacker_flows, d.bottleneck, bottleneck_bps);
+/// The Figure 8 scenario: one legitimate user per AS repeatedly fetching a
+/// 20 KB file from the victim, everyone else flooding it with 1 Mbps CBR.
+pub fn fig8_spec(scale: &Scale, system: DefenseKind, fair_share: u64) -> ScenarioSpec {
+    ScenarioSpec::dumbbell(*scale)
+        .named("fig8-unwanted-flood")
+        .defense(system)
+        .fair_share(fair_share)
+        .legit_per_as(1)
+        // A 5 s gap keeps each transfer outside the 4 s feedback /
+        // capability lifetime so that every transfer pays the full
+        // connection-setup cost, as in the paper's experiment.
+        .users(TrafficSpec::repeated_file(20_000, 5 * SEC))
+        .user_start(StartSchedule::staggered(10, 100 * MILLI))
+        .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Victim)
+        .attacker_start(StartSchedule::staggered(100, MILLI))
+}
+
+fn to_point(represented: u64, fair_share: u64, system: DefenseKind, r: &Record) -> Fig8Point {
     Fig8Point {
         represented_senders: represented,
         fair_share_bps: fair_share,
         system,
-        avg_transfer_secs: outcome.avg_user_transfer_secs().unwrap_or(f64::NAN),
-        completion_ratio: outcome.user_completion_ratio(),
+        avg_transfer_secs: r.avg_user_transfer_secs().unwrap_or(f64::NAN),
+        completion_ratio: r.user_completion_ratio(),
     }
 }
 
-/// Run the full Figure 8 sweep for the given systems.
+/// Run one (system, sweep point) cell and return its Figure 8 point.
+pub fn run_fig8_cell(
+    scale: &Scale,
+    system: DefenseKind,
+    represented: u64,
+    fair_share: u64,
+) -> Fig8Point {
+    let r = Runner::new(fig8_spec(scale, system, fair_share)).run();
+    to_point(represented, fair_share, system, &r)
+}
+
+/// Run the full Figure 8 sweep for the given systems (cells in parallel).
 pub fn run_fig8(scale: &Scale, systems: &[DefenseKind]) -> Vec<Fig8Point> {
-    let mut points = Vec::new();
-    for &(represented, fair_share) in &FIG8_SWEEP {
-        for &system in systems {
-            points.push(run_fig8_cell(scale, system, represented, fair_share));
-        }
-    }
-    points
+    SweepGrid::new(systems.to_vec(), FIG8_SWEEP.to_vec())
+        .run_auto(|system, &(_, fair_share)| fig8_spec(scale, system, fair_share))
+        .iter()
+        .map(|c| to_point(c.point.0, c.point.1, c.system, &c.record))
+        .collect()
 }
 
 #[cfg(test)]

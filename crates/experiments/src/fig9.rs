@@ -9,7 +9,7 @@
 
 use netfence_sim::prelude::*;
 
-use crate::scenario::{build_dumbbell, collect_outcome, make_defense, DefenseKind, Scale};
+use crate::prelude::*;
 
 /// User traffic model of Figure 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +18,15 @@ pub enum UserTraffic {
     LongRunning,
     /// Figure 9(b): web-like traffic (Pareto/exponential mixture sizes).
     WebLike,
+}
+
+impl UserTraffic {
+    fn traffic_spec(self) -> TrafficSpec {
+        match self {
+            UserTraffic::LongRunning => TrafficSpec::LongRunningTcp,
+            UserTraffic::WebLike => TrafficSpec::WebLike,
+        }
+    }
 }
 
 /// One point of Figure 9.
@@ -41,6 +50,37 @@ pub struct Fig9Point {
 pub const FIG9_SWEEP: [(u64, u64); 4] =
     [(25_000, 400_000), (50_000, 200_000), (100_000, 100_000), (200_000, 50_000)];
 
+/// The Figure 9 scenario: 25% legitimate users per AS (at least one), the
+/// rest flooding colluding receivers behind the bottleneck.
+pub fn fig9_spec(
+    scale: &Scale,
+    system: DefenseKind,
+    traffic: UserTraffic,
+    fair_share: u64,
+) -> ScenarioSpec {
+    let colluders = 9.min(scale.senders() / 4).max(1);
+    ScenarioSpec::dumbbell(*scale)
+        .named("fig9-colluding-flood")
+        .defense(system)
+        .fair_share(fair_share)
+        .legit_fraction(0.25)
+        .users(traffic.traffic_spec())
+        .user_start(StartSchedule::staggered(20, 50 * MILLI))
+        .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Colluders { ases: colluders })
+        .attacker_start(StartSchedule::staggered(100, MILLI))
+}
+
+fn to_point(represented: u64, system: DefenseKind, traffic: UserTraffic, r: &Record) -> Fig9Point {
+    Fig9Point {
+        represented_senders: represented,
+        system,
+        traffic,
+        throughput_ratio: r.throughput_ratio(),
+        fairness_index: r.user_fairness(),
+        utilization: r.bottleneck_utilization(),
+    }
+}
+
 /// Run one (system, point) cell of Figure 9.
 pub fn run_fig9_cell(
     scale: &Scale,
@@ -49,57 +89,18 @@ pub fn run_fig9_cell(
     represented: u64,
     fair_share: u64,
 ) -> Fig9Point {
-    let bottleneck_bps = fair_share * scale.senders() as u64;
-    // 25% legitimate users per AS (at least one), 9 colluder ASes.
-    let legit_per_as = (scale.hosts_per_as / 4).max(1);
-    let colluders = 9.min(scale.senders() / 4).max(1);
-    let d = build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders);
-    let defense = make_defense(system, &d, false);
-    let mut sim = Simulator::new(
-        build_dumbbell(scale, legit_per_as, bottleneck_bps, colluders).net,
-        defense,
-        SimConfig { end_time: scale.sim_time, seed: scale.seed, ..Default::default() },
-    );
-    let mut user_flows = Vec::new();
-    let mut attacker_flows = Vec::new();
-    for (i, &u) in d.users.iter().enumerate() {
-        let victim = d.victim;
-        let seed = scale.seed ^ (i as u64 + 1);
-        let workload = match traffic {
-            UserTraffic::LongRunning => TcpWorkload::LongRunning,
-            UserTraffic::WebLike => TcpWorkload::WebLike(WebWorkload::default()),
-        };
-        user_flows.push(sim.add_flow((i as u64 % 20) * 50 * MILLI, |id| {
-            Box::new(TcpFlow::new(id, u, victim, workload, TcpConfig::default(), SimRng::new(seed)))
-        }));
-    }
-    for (i, &a) in d.attackers.iter().enumerate() {
-        let colluder = d.colluders[i % d.colluders.len()];
-        attacker_flows.push(sim.add_flow((i as u64 % 100) * MILLI, |id| {
-            Box::new(UdpFlow::cbr(id, a, colluder, 1_000_000))
-        }));
-    }
-    sim.run();
-    let outcome = collect_outcome(&sim, &user_flows, &attacker_flows, d.bottleneck, bottleneck_bps);
-    Fig9Point {
-        represented_senders: represented,
-        system,
-        traffic,
-        throughput_ratio: outcome.throughput_ratio(scale.sim_time),
-        fairness_index: outcome.user_fairness(scale.sim_time),
-        utilization: outcome.bottleneck_utilization,
-    }
+    let r = Runner::new(fig9_spec(scale, system, traffic, fair_share)).run();
+    to_point(represented, system, traffic, &r)
 }
 
-/// Run the full Figure 9 sweep (one traffic model) for the given systems.
+/// Run the full Figure 9 sweep (one traffic model) for the given systems
+/// (cells in parallel).
 pub fn run_fig9(scale: &Scale, systems: &[DefenseKind], traffic: UserTraffic) -> Vec<Fig9Point> {
-    let mut points = Vec::new();
-    for &(represented, fair_share) in &FIG9_SWEEP {
-        for &system in systems {
-            points.push(run_fig9_cell(scale, system, traffic, represented, fair_share));
-        }
-    }
-    points
+    SweepGrid::new(systems.to_vec(), FIG9_SWEEP.to_vec())
+        .run_auto(|system, &(_, fair_share)| fig9_spec(scale, system, traffic, fair_share))
+        .iter()
+        .map(|c| to_point(c.point.0, c.system, traffic, &c.record))
+        .collect()
 }
 
 #[cfg(test)]
@@ -110,7 +111,13 @@ mod tests {
     fn netfence_throughput_ratio_is_near_one_for_long_running_tcp() {
         let mut scale = Scale::tiny();
         scale.sim_time = 120 * SEC;
-        let p = run_fig9_cell(&scale, DefenseKind::NetFence, UserTraffic::LongRunning, 100_000, 100_000);
+        let p = run_fig9_cell(
+            &scale,
+            DefenseKind::NetFence,
+            UserTraffic::LongRunning,
+            100_000,
+            100_000,
+        );
         assert!(
             p.throughput_ratio > 0.5,
             "NetFence should give users a comparable share, got ratio {}",
@@ -124,7 +131,8 @@ mod tests {
     fn no_defense_ratio_is_poor() {
         let mut scale = Scale::tiny();
         scale.sim_time = 60 * SEC;
-        let p = run_fig9_cell(&scale, DefenseKind::None, UserTraffic::LongRunning, 100_000, 100_000);
+        let p =
+            run_fig9_cell(&scale, DefenseKind::None, UserTraffic::LongRunning, 100_000, 100_000);
         assert!(
             p.throughput_ratio < 0.5,
             "without defense the attackers should dominate, got {}",

@@ -1,14 +1,38 @@
 //! # netfence-experiments
 //!
-//! Harnesses that regenerate every table and figure of the NetFence
-//! evaluation (§6 of the paper) on top of the `netfence-sim` simulator and
-//! the `netfence-systems` defense implementations. Each figure has a
-//! library module (used by the integration tests and the Criterion benches)
-//! and a binary (`cargo run -p netfence-experiments --bin figN`) that prints
-//! the figure's rows/series as a plain-text table.
+//! The declarative experiment layer of the NetFence reproduction, plus the
+//! harnesses that regenerate every table and figure of the paper's
+//! evaluation (§6).
 //!
-//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
-//! comparison produced by these harnesses.
+//! ## The `ScenarioSpec` → `Runner` → `Record` API
+//!
+//! Every experiment is one declarative [`ScenarioSpec`] (topology, scale,
+//! defense, per-role traffic, attacker strategy), executed by a
+//! [`Runner`] that builds the network exactly once, instantiates the
+//! defense through the unified [`DefenseSpec`](spec::DefenseSpec) factory,
+//! spawns role-tagged flows and returns a uniform [`Record`] with per-role
+//! flow series and per-bottleneck statistics. Grids of (defense × sweep
+//! point) cells run through [`SweepGrid`], optionally on several threads.
+//!
+//! ```
+//! use netfence_experiments::prelude::*;
+//!
+//! let spec = ScenarioSpec::dumbbell(Scale::tiny())
+//!     .defense(DefenseKind::NetFence)
+//!     .fair_share(100_000)
+//!     .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Victim);
+//! let record = Runner::new(spec).run();
+//! assert!(record.user_completion_ratio() >= 0.0);
+//! ```
+//!
+//! ## Figure harnesses
+//!
+//! Each figure has a thin library module (a spec constructor plus a
+//! `Record` → figure-point mapping, used by the integration tests and the
+//! Criterion benches) and a binary (`cargo run -p netfence-experiments
+//! --bin figN`) that prints the figure's rows as a plain-text table. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,7 +43,29 @@ pub mod fig13;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod record;
 pub mod report;
-pub mod scenario;
+pub mod runner;
+pub mod spec;
+pub mod sweep;
+pub mod topo;
 
-pub use scenario::{DefenseKind, Scale};
+pub use record::{LinkStats, Record, Role, RoleSeries};
+pub use runner::Runner;
+pub use spec::{
+    AttackTarget, Bandwidth, DefenseKind, DefenseSpec, RoleSpec, Scale, ScenarioSpec,
+    StartSchedule, Suppression, TopologySpec, TrafficSpec,
+};
+pub use sweep::{Cell, SweepGrid};
+
+/// Commonly used re-exports for writing scenarios.
+pub mod prelude {
+    pub use crate::record::{LinkStats, Record, Role, RoleSeries};
+    pub use crate::runner::Runner;
+    pub use crate::spec::{
+        netfence_config, AttackTarget, Bandwidth, DefenseContext, DefenseKind, DefenseSpec,
+        RoleSpec, Scale, ScenarioSpec, StartSchedule, Suppression, SuppressionGroup, TopologySpec,
+        TrafficSpec,
+    };
+    pub use crate::sweep::{Cell, SweepGrid};
+}

@@ -1,0 +1,238 @@
+//! The uniform result of every scenario run.
+//!
+//! A [`Record`] carries the full per-flow progress of every role plus
+//! per-bottleneck link statistics, and derives from them every metric the
+//! paper's figures report (average goodput, throughput ratio, Jain fairness,
+//! transfer times, completion ratios, utilization, loss). All harnesses,
+//! benches and tests read these accessors instead of keeping per-figure
+//! result structs.
+
+use netfence_sim::prelude::*;
+
+use crate::spec::DefenseKind;
+
+/// A role tag: which side of the attack a flow is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Legitimate user.
+    User,
+    /// Attacker.
+    Attacker,
+}
+
+/// Per-flow progress of one named role group (e.g. `"users"` on a dumbbell,
+/// `"A-users"` on the parking lot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleSeries {
+    /// Group name.
+    pub group: String,
+    /// User or attacker.
+    pub role: Role,
+    /// Per-flow progress, in member order.
+    pub flows: Vec<FlowProgress>,
+}
+
+impl RoleSeries {
+    /// Average goodput across the group's flows over `[0, sim_time]`.
+    pub fn avg_bps(&self, sim_time: Nanos) -> f64 {
+        avg(self.flows.iter().map(|p| p.goodput_bps(0, sim_time)))
+    }
+
+    /// Per-flow goodputs over `[0, sim_time]`.
+    pub fn goodputs_bps(&self, sim_time: Nanos) -> Vec<f64> {
+        self.flows.iter().map(|p| p.goodput_bps(0, sim_time)).collect()
+    }
+}
+
+/// Statistics of one monitored (bottleneck) link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStats {
+    /// Link label ("bottleneck", "L1", "L2").
+    pub label: String,
+    /// Configured capacity, bits per second.
+    pub capacity_bps: u64,
+    /// Utilization over the run.
+    pub utilization: f64,
+    /// Loss rate over the run.
+    pub loss: f64,
+}
+
+/// The uniform outcome of one [`Runner`](crate::runner::Runner) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Scenario name (from the spec).
+    pub name: String,
+    /// Defense system that ran.
+    pub defense: DefenseKind,
+    /// Simulated duration.
+    pub sim_time: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+    /// Total simulated senders.
+    pub senders: usize,
+    /// The per-sender max-min fair share on the tightest bottleneck.
+    pub fair_share_bps: f64,
+    /// Per-role flow series.
+    pub roles: Vec<RoleSeries>,
+    /// Per-bottleneck statistics (first entry = the tightest/primary one).
+    pub links: Vec<LinkStats>,
+}
+
+impl Record {
+    /// The named role group, if present.
+    pub fn group(&self, name: &str) -> Option<&RoleSeries> {
+        self.roles.iter().find(|r| r.group == name)
+    }
+
+    /// Average goodput of a named group, bits per second.
+    pub fn group_avg_bps(&self, name: &str) -> f64 {
+        self.group(name).map(|g| g.avg_bps(self.sim_time)).unwrap_or(0.0)
+    }
+
+    /// Every user flow across all groups.
+    pub fn users(&self) -> impl Iterator<Item = &FlowProgress> {
+        self.roles.iter().filter(|r| r.role == Role::User).flat_map(|r| r.flows.iter())
+    }
+
+    /// Every attacker flow across all groups.
+    pub fn attackers(&self) -> impl Iterator<Item = &FlowProgress> {
+        self.roles.iter().filter(|r| r.role == Role::Attacker).flat_map(|r| r.flows.iter())
+    }
+
+    /// Average goodput (bps) across all users.
+    pub fn avg_user_bps(&self) -> f64 {
+        avg(self.users().map(|p| p.goodput_bps(0, self.sim_time)))
+    }
+
+    /// Average goodput (bps) across all attackers.
+    pub fn avg_attacker_bps(&self) -> f64 {
+        avg(self.attackers().map(|p| p.goodput_bps(0, self.sim_time)))
+    }
+
+    /// Throughput ratio (users / attackers), Figure 9's metric.
+    pub fn throughput_ratio(&self) -> f64 {
+        let a = self.avg_attacker_bps();
+        if a == 0.0 {
+            f64::INFINITY
+        } else {
+            self.avg_user_bps() / a
+        }
+    }
+
+    /// Jain fairness index across legitimate users' goodputs.
+    pub fn user_fairness(&self) -> f64 {
+        let v: Vec<f64> = self.users().map(|p| p.goodput_bps(0, self.sim_time)).collect();
+        fairness_index(&v)
+    }
+
+    /// Average completed-transfer time across users, in seconds.
+    pub fn avg_user_transfer_secs(&self) -> Option<f64> {
+        let times: Vec<f64> = self.users().filter_map(|p| p.avg_transfer_secs()).collect();
+        if times.is_empty() {
+            None
+        } else {
+            Some(times.iter().sum::<f64>() / times.len() as f64)
+        }
+    }
+
+    /// Fraction of attempted user transfers that completed.
+    pub fn user_completion_ratio(&self) -> f64 {
+        let done: usize = self.users().map(|p| p.completions.len()).sum();
+        let failed: u64 = self.users().map(|p| p.failed_transfers).sum();
+        let attempted = done as u64 + failed;
+        if attempted == 0 {
+            1.0
+        } else {
+            done as f64 / attempted as f64
+        }
+    }
+
+    /// Utilization of the primary bottleneck.
+    pub fn bottleneck_utilization(&self) -> f64 {
+        self.links.first().map(|l| l.utilization).unwrap_or(0.0)
+    }
+
+    /// Loss rate at the primary bottleneck.
+    pub fn bottleneck_loss(&self) -> f64 {
+        self.links.first().map(|l| l.loss).unwrap_or(0.0)
+    }
+}
+
+fn avg(iter: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = iter.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(delivered: u64) -> FlowProgress {
+        FlowProgress { delivered_bytes: delivered, ..Default::default() }
+    }
+
+    fn sample() -> Record {
+        Record {
+            name: "t".into(),
+            defense: DefenseKind::NetFence,
+            sim_time: 10 * SEC,
+            seed: 1,
+            senders: 4,
+            fair_share_bps: 1000.0,
+            roles: vec![
+                RoleSeries {
+                    group: "users".into(),
+                    role: Role::User,
+                    flows: vec![progress(1000), progress(3000)],
+                },
+                RoleSeries {
+                    group: "attackers".into(),
+                    role: Role::Attacker,
+                    flows: vec![progress(1000)],
+                },
+            ],
+            links: vec![LinkStats {
+                label: "bottleneck".into(),
+                capacity_bps: 4000,
+                utilization: 0.5,
+                loss: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample();
+        // 1000 bytes over 10 s = 800 bps; mean of 800 and 2400 = 1600.
+        assert_eq!(r.avg_user_bps(), 1600.0);
+        assert_eq!(r.avg_attacker_bps(), 800.0);
+        assert_eq!(r.throughput_ratio(), 2.0);
+        assert!(r.user_fairness() > 0.7 && r.user_fairness() < 1.0);
+        assert_eq!(r.bottleneck_utilization(), 0.5);
+        assert_eq!(r.bottleneck_loss(), 0.1);
+        assert_eq!(r.group_avg_bps("users"), 1600.0);
+        assert_eq!(r.group_avg_bps("missing"), 0.0);
+    }
+
+    #[test]
+    fn completion_ratio_counts_failures() {
+        let mut r = sample();
+        r.roles[0].flows[0].completions.push((0, SEC, 100));
+        r.roles[0].flows[1].failed_transfers = 1;
+        assert_eq!(r.user_completion_ratio(), 0.5);
+        // No attempts at all counts as complete.
+        let empty = Record { roles: vec![], ..sample() };
+        assert_eq!(empty.user_completion_ratio(), 1.0);
+    }
+
+    #[test]
+    fn zero_attacker_ratio_is_infinite() {
+        let mut r = sample();
+        r.roles[1].flows.clear();
+        assert!(r.throughput_ratio().is_infinite());
+    }
+}

@@ -59,10 +59,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["system", "value"],
-            &[
-                vec!["NetFence".into(), "1.0".into()],
-                vec!["FQ".into(), "10.25".into()],
-            ],
+            &[vec!["NetFence".into(), "1.0".into()], vec!["FQ".into(), "10.25".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

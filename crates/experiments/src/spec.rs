@@ -1,0 +1,640 @@
+//! The declarative experiment vocabulary: [`ScenarioSpec`] and the types it
+//! is assembled from.
+//!
+//! The paper's evaluation (§6.3, Figures 7–14) is a grid of *defense system*
+//! × *scenario* cells over a small set of topologies and workloads. A
+//! [`ScenarioSpec`] captures one cell declaratively — topology shape, scale,
+//! defense, per-role traffic, attacker strategy — and
+//! [`Runner`](crate::runner::Runner) turns it into a simulation and a
+//! uniform [`Record`](crate::record::Record). Sweeps over many cells are
+//! driven by [`SweepGrid`](crate::sweep::SweepGrid).
+
+use netfence_core::config::Config;
+use netfence_sim::prelude::*;
+use netfence_systems::{
+    strategic_request_priority, FairQueuingDefense, NetFenceDefense, StopItDefense, TvaDefense,
+};
+
+/// Which defense system a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseKind {
+    /// NetFence (this paper).
+    NetFence,
+    /// TVA+ capability baseline.
+    Tva,
+    /// StopIt filter baseline.
+    StopIt,
+    /// Per-sender fair queuing at every link.
+    Fq,
+    /// No defense at all.
+    None,
+}
+
+impl DefenseKind {
+    /// All systems compared in the paper's figures.
+    pub const ALL: [DefenseKind; 4] =
+        [DefenseKind::Fq, DefenseKind::NetFence, DefenseKind::Tva, DefenseKind::StopIt];
+
+    /// Every kind the factory can build, including `None`.
+    pub const EVERY: [DefenseKind; 5] = [
+        DefenseKind::Fq,
+        DefenseKind::NetFence,
+        DefenseKind::Tva,
+        DefenseKind::StopIt,
+        DefenseKind::None,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefenseKind::NetFence => "NetFence",
+            DefenseKind::Tva => "TVA+",
+            DefenseKind::StopIt => "StopIt",
+            DefenseKind::Fq => "FQ",
+            DefenseKind::None => "None",
+        }
+    }
+}
+
+/// How large a run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Source ASes (the paper uses 10).
+    pub src_ases: usize,
+    /// Hosts per source AS (the paper uses 100; scaled down by default).
+    pub hosts_per_as: usize,
+    /// Simulated duration.
+    pub sim_time: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// A tiny scale for unit/integration tests and Criterion benches.
+    pub fn tiny() -> Self {
+        Scale { src_ases: 4, hosts_per_as: 4, sim_time: 40 * SEC, seed: 7 }
+    }
+
+    /// The default experiment scale (finishes in seconds per data point).
+    pub fn default_scale() -> Self {
+        Scale { src_ases: 10, hosts_per_as: 8, sim_time: 120 * SEC, seed: 7 }
+    }
+
+    /// Total simulated senders.
+    pub fn senders(&self) -> usize {
+        self.src_ases * self.hosts_per_as
+    }
+}
+
+/// The shape of the network a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The Figure 8/9/11 dumbbell: `scale.src_ases` source ASes behind one
+    /// bottleneck, a victim AS, and (with a colluding [`AttackTarget`])
+    /// extra colluder ASes.
+    Dumbbell,
+    /// The Figure 10 parking lot: `R0 —L1→ R1 —L2→ R2` with three sender
+    /// groups (A crosses both links, B only L2, C only L1). Every group gets
+    /// its own victim and colluder destination.
+    ParkingLot {
+        /// Capacity of the first bottleneck (crossed by groups A and C).
+        l1_bps: u64,
+        /// Capacity of the second bottleneck (crossed by groups A and B).
+        l2_bps: u64,
+    },
+}
+
+/// How the bottleneck capacity of a [`TopologySpec::Dumbbell`] is stated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bandwidth {
+    /// Absolute bits per second.
+    Absolute(u64),
+    /// Bits per second *per simulated sender* (the paper's scale-down trick:
+    /// a fixed per-sender fair share regardless of how many hosts are
+    /// actually simulated).
+    PerSender(u64),
+}
+
+impl Bandwidth {
+    /// Resolve to absolute bits per second for `senders` simulated senders.
+    pub fn resolve(&self, senders: usize) -> u64 {
+        match *self {
+            Bandwidth::Absolute(bps) => bps,
+            Bandwidth::PerSender(bps) => bps * senders as u64,
+        }
+    }
+}
+
+/// The traffic one role's hosts generate (§6.3's workload menu).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficSpec {
+    /// Constant-bit-rate UDP.
+    Cbr {
+        /// Sending rate in bits per second.
+        bps: u64,
+    },
+    /// On-off (shrew-style) UDP bursts.
+    OnOff {
+        /// Burst rate in bits per second.
+        bps: u64,
+        /// Burst length.
+        on: Nanos,
+        /// Silence length.
+        off: Nanos,
+    },
+    /// A single long-running TCP flow (Figure 9a users).
+    LongRunningTcp,
+    /// Web-like TCP traffic — Pareto/exponential mixture sizes (Figure 9b).
+    WebLike,
+    /// Repeatedly transfer a fixed-size file over TCP with a gap between
+    /// transfers (Figure 8 users: 20 KB, 5 s gap).
+    RepeatedFile {
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Idle gap between transfers.
+        gap: Nanos,
+    },
+}
+
+impl TrafficSpec {
+    /// Constant-bit-rate UDP at `bps`.
+    pub fn cbr(bps: u64) -> Self {
+        TrafficSpec::Cbr { bps }
+    }
+
+    /// Synchronized on-off UDP bursts.
+    pub fn on_off(bps: u64, on: Nanos, off: Nanos) -> Self {
+        TrafficSpec::OnOff { bps, on, off }
+    }
+
+    /// Repeated fixed-size TCP transfers.
+    pub fn repeated_file(bytes: u64, gap: Nanos) -> Self {
+        TrafficSpec::RepeatedFile { bytes, gap }
+    }
+
+    /// Instantiate the flow for one `(src, dst)` member of a role.
+    pub(crate) fn make_flow(
+        &self,
+        id: FlowId,
+        src: HostAddr,
+        dst: HostAddr,
+        seed: u64,
+    ) -> Box<dyn Flow> {
+        match *self {
+            TrafficSpec::Cbr { bps } => Box::new(UdpFlow::cbr(id, src, dst, bps)),
+            TrafficSpec::OnOff { bps, on, off } => {
+                Box::new(UdpFlow::new(id, src, dst, bps, UdpPattern::OnOff { on, off }))
+            }
+            TrafficSpec::LongRunningTcp => Box::new(TcpFlow::new(
+                id,
+                src,
+                dst,
+                TcpWorkload::LongRunning,
+                TcpConfig::default(),
+                SimRng::new(seed),
+            )),
+            TrafficSpec::WebLike => Box::new(TcpFlow::new(
+                id,
+                src,
+                dst,
+                TcpWorkload::WebLike(WebWorkload::default()),
+                TcpConfig::default(),
+                SimRng::new(seed),
+            )),
+            TrafficSpec::RepeatedFile { bytes, gap } => Box::new(TcpFlow::new(
+                id,
+                src,
+                dst,
+                TcpWorkload::RepeatedFile { bytes, gap },
+                TcpConfig::default(),
+                SimRng::new(seed),
+            )),
+        }
+    }
+}
+
+/// When the members of a role start sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartSchedule {
+    /// Everybody at t = 0 (the synchronized worst case of §5.2.1).
+    Synchronized,
+    /// Member `i` starts at `(i % groups) · step`.
+    Staggered {
+        /// Number of distinct start slots.
+        groups: u64,
+        /// Spacing between slots.
+        step: Nanos,
+    },
+}
+
+impl StartSchedule {
+    /// Member `i` starts at `(i % groups) · step`.
+    pub fn staggered(groups: u64, step: Nanos) -> Self {
+        StartSchedule::Staggered { groups: groups.max(1), step }
+    }
+
+    /// Start time of role member `i`.
+    pub fn start_of(&self, i: usize) -> Nanos {
+        match *self {
+            StartSchedule::Synchronized => 0,
+            StartSchedule::Staggered { groups, step } => (i as u64 % groups.max(1)) * step,
+        }
+    }
+}
+
+/// Traffic plus start schedule for one role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoleSpec {
+    /// What the role's hosts send.
+    pub traffic: TrafficSpec,
+    /// When they start.
+    pub start: StartSchedule,
+}
+
+impl RoleSpec {
+    /// A role sending `traffic` with the given schedule.
+    pub fn new(traffic: TrafficSpec, start: StartSchedule) -> Self {
+        RoleSpec { traffic, start }
+    }
+}
+
+/// Who the attackers send to — the axis separating the paper's two attack
+/// scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackTarget {
+    /// Unwanted traffic (§6.3.1): attackers flood the victim, which
+    /// identifies them and uses the defense to block them.
+    Victim,
+    /// Colluding receivers (§6.3.2): attackers pair with cooperating
+    /// destinations, so capabilities and filters cannot help. On the
+    /// dumbbell, `ases` extra colluder ASes are attached behind the
+    /// bottleneck; on the parking lot every group already has its own
+    /// colluder host and `ases` is ignored.
+    Colluders {
+        /// Colluder ASes attached to the dumbbell (≥ 1).
+        ases: usize,
+    },
+}
+
+/// Whether the victim exercises its sender-suppression mechanism
+/// (feedback-withholding / capabilities / filters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Suppression {
+    /// Suppress exactly when the attack targets the victim (the paper's
+    /// setting: victims block identified attackers, colluders never do).
+    #[default]
+    Auto,
+    /// Always suppress.
+    On,
+    /// Never suppress.
+    Off,
+}
+
+/// The defense half of a cell: which system, how configured.
+///
+/// This is the unified factory every harness goes through —
+/// [`DefenseSpec::build`] replaces the per-figure `make_defense` copies.
+#[derive(Debug, Clone)]
+pub struct DefenseSpec {
+    /// Which system.
+    pub kind: DefenseKind,
+    /// Protocol parameters for NetFence runs.
+    pub netfence: Config,
+    /// Victim suppression policy.
+    pub suppression: Suppression,
+}
+
+impl DefenseSpec {
+    /// A defense with the experiment-default NetFence configuration.
+    pub fn new(kind: DefenseKind) -> Self {
+        DefenseSpec { kind, netfence: netfence_config(), suppression: Suppression::Auto }
+    }
+
+    /// Override the NetFence protocol configuration.
+    pub fn with_config(mut self, cfg: Config) -> Self {
+        self.netfence = cfg;
+        self
+    }
+
+    /// Override the suppression policy.
+    pub fn with_suppression(mut self, s: Suppression) -> Self {
+        self.suppression = s;
+        self
+    }
+
+    /// Construct the defense system for a built scenario. `ctx` carries the
+    /// role assignment the suppression mechanisms need; each
+    /// [`SuppressionGroup`] is one victim with the senders it knows about
+    /// (the dumbbell has one group, the parking lot three).
+    pub fn build(&self, ctx: &DefenseContext<'_>) -> Box<dyn DefenseSystem> {
+        let suppress = match self.suppression {
+            Suppression::Auto => ctx.attack_on_victim,
+            Suppression::On => true,
+            Suppression::Off => false,
+        } && !ctx.groups.is_empty();
+        match self.kind {
+            DefenseKind::None => Box::new(NoDefense),
+            DefenseKind::Fq => Box::new(FairQueuingDefense::new()),
+            DefenseKind::StopIt => {
+                let mut s = StopItDefense::new();
+                if suppress {
+                    for g in &ctx.groups {
+                        s.auto_filter(g.victim);
+                        for &u in g.users {
+                            s.allow(g.victim, u);
+                        }
+                    }
+                }
+                Box::new(s)
+            }
+            DefenseKind::Tva => {
+                let mut t = TvaDefense::new();
+                if suppress {
+                    for g in &ctx.groups {
+                        t.deny_by_default(g.victim);
+                        for &u in g.users {
+                            t.allow(g.victim, u);
+                        }
+                    }
+                }
+                Box::new(t)
+            }
+            DefenseKind::NetFence => {
+                let mut n = NetFenceDefense::new(self.netfence.clone());
+                if suppress {
+                    let total: u64 = ctx.groups.iter().map(|g| g.attackers.len() as u64).sum();
+                    let prio = attacker_request_priority(&self.netfence, total, ctx.bottleneck_bps);
+                    for g in &ctx.groups {
+                        for &a in g.attackers {
+                            n.suppress_sender(g.victim, a);
+                            n.set_request_priority(a, prio);
+                        }
+                    }
+                }
+                Box::new(n)
+            }
+        }
+    }
+}
+
+/// One victim and the senders it can tell apart, for suppression purposes.
+#[derive(Debug, Clone)]
+pub struct SuppressionGroup<'a> {
+    /// The victim destination.
+    pub victim: HostAddr,
+    /// Legitimate senders the victim whitelists.
+    pub users: &'a [HostAddr],
+    /// Attackers the victim blocks.
+    pub attackers: &'a [HostAddr],
+}
+
+/// Role assignment handed to [`DefenseSpec::build`] by the
+/// [`Runner`](crate::runner::Runner).
+#[derive(Debug, Clone, Default)]
+pub struct DefenseContext<'a> {
+    /// Victims with their known senders (empty disables suppression).
+    pub groups: Vec<SuppressionGroup<'a>>,
+    /// Capacity of the (tightest) bottleneck, bits per second.
+    pub bottleneck_bps: u64,
+    /// Whether the attack is aimed at the victim (resolves
+    /// [`Suppression::Auto`]).
+    pub attack_on_victim: bool,
+}
+
+/// The NetFence protocol configuration used by the experiments: Figure 3
+/// parameters with `Ta`/`Tb` shortened so that simulated minutes (rather
+/// than hours) exercise cycle termination.
+pub fn netfence_config() -> Config {
+    Config { ta: 600 * SEC, tb: 600 * SEC, ..Config::default() }
+}
+
+/// The strategic request priority attackers pick in the unwanted-traffic
+/// scenario (§6.3.1): the highest level at which their aggregate traffic can
+/// still saturate the bottleneck's request channel, under the protocol
+/// parameters `cfg` the defense actually runs with.
+pub fn attacker_request_priority(cfg: &Config, attackers: u64, bottleneck_bps: u64) -> u8 {
+    strategic_request_priority(
+        attackers,
+        bottleneck_bps as f64 * cfg.request_channel_fraction,
+        92.0,
+        cfg.request_tokens_per_sec(),
+        cfg.max_request_priority,
+    )
+}
+
+/// One declarative experiment cell: topology × scale × defense × per-role
+/// traffic × attacker strategy.
+///
+/// Build one with [`ScenarioSpec::dumbbell`] or
+/// [`ScenarioSpec::parking_lot`] and the chained setters, hand it to a
+/// [`Runner`](crate::runner::Runner), get a
+/// [`Record`](crate::record::Record) back.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (carried into the [`Record`](crate::record::Record)).
+    pub name: String,
+    /// Network shape.
+    pub topology: TopologySpec,
+    /// Simulated size and duration.
+    pub scale: Scale,
+    /// Defense under test.
+    pub defense: DefenseSpec,
+    /// Dumbbell bottleneck capacity (ignored by the parking lot, whose link
+    /// capacities live in its [`TopologySpec`]).
+    pub bandwidth: Bandwidth,
+    /// Legitimate senders per source AS (dumbbell) or per group (parking
+    /// lot); the remaining hosts are attackers.
+    pub legit_per_as: usize,
+    /// What legitimate users send, and when.
+    pub users: RoleSpec,
+    /// What attackers send, and when.
+    pub attackers: RoleSpec,
+    /// Who the attackers aim at.
+    pub attack_target: AttackTarget,
+}
+
+impl ScenarioSpec {
+    /// A dumbbell scenario with the paper's defaults: NetFence defended, one
+    /// legitimate user per AS sending long-running TCP (staggered starts),
+    /// the rest 1 Mbps CBR attackers flooding the victim, 100 kbps
+    /// per-sender fair share.
+    pub fn dumbbell(scale: Scale) -> Self {
+        ScenarioSpec {
+            name: "dumbbell".to_string(),
+            topology: TopologySpec::Dumbbell,
+            scale,
+            defense: DefenseSpec::new(DefenseKind::NetFence),
+            bandwidth: Bandwidth::PerSender(100_000),
+            legit_per_as: 1,
+            users: RoleSpec::new(
+                TrafficSpec::LongRunningTcp,
+                StartSchedule::staggered(20, 50 * MILLI),
+            ),
+            attackers: RoleSpec::new(
+                TrafficSpec::cbr(1_000_000),
+                StartSchedule::staggered(100, MILLI),
+            ),
+            attack_target: AttackTarget::Victim,
+        }
+    }
+
+    /// A parking-lot scenario (Figure 10): three groups of
+    /// `scale.hosts_per_as` senders, colluding attack by default.
+    pub fn parking_lot(scale: Scale, l1_bps: u64, l2_bps: u64) -> Self {
+        let mut spec = ScenarioSpec::dumbbell(scale);
+        spec.name = "parking-lot".to_string();
+        spec.topology = TopologySpec::ParkingLot { l1_bps, l2_bps };
+        spec.legit_per_as = (scale.hosts_per_as.max(4) / 4).max(1);
+        spec.attackers.start = StartSchedule::staggered(50, MILLI);
+        spec.attack_target = AttackTarget::Colluders { ases: 1 };
+        spec
+    }
+
+    /// Name the scenario.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Select the defense system (experiment-default configuration).
+    pub fn defense(mut self, kind: DefenseKind) -> Self {
+        let suppression = self.defense.suppression;
+        self.defense = DefenseSpec::new(kind).with_suppression(suppression);
+        self
+    }
+
+    /// Replace the whole defense spec.
+    pub fn defense_spec(mut self, defense: DefenseSpec) -> Self {
+        self.defense = defense;
+        self
+    }
+
+    /// Dumbbell bottleneck capacity as a per-sender fair share.
+    pub fn fair_share(mut self, bps: u64) -> Self {
+        self.bandwidth = Bandwidth::PerSender(bps);
+        self
+    }
+
+    /// Dumbbell bottleneck capacity in absolute bits per second.
+    pub fn bottleneck_bps(mut self, bps: u64) -> Self {
+        self.bandwidth = Bandwidth::Absolute(bps);
+        self
+    }
+
+    /// Legitimate senders per source AS / group.
+    pub fn legit_per_as(mut self, n: usize) -> Self {
+        self.legit_per_as = n.max(1);
+        self
+    }
+
+    /// Legitimate senders as a fraction of each AS's hosts (at least one).
+    pub fn legit_fraction(mut self, f: f64) -> Self {
+        let hosts = match self.topology {
+            TopologySpec::Dumbbell => self.scale.hosts_per_as,
+            TopologySpec::ParkingLot { .. } => self.scale.hosts_per_as.max(4),
+        };
+        self.legit_per_as = ((hosts as f64 * f) as usize).max(1);
+        self
+    }
+
+    /// What the users send.
+    pub fn users(mut self, traffic: TrafficSpec) -> Self {
+        self.users.traffic = traffic;
+        self
+    }
+
+    /// When the users start.
+    pub fn user_start(mut self, start: StartSchedule) -> Self {
+        self.users.start = start;
+        self
+    }
+
+    /// What the attackers send, and at whom.
+    pub fn attackers(mut self, traffic: TrafficSpec, target: AttackTarget) -> Self {
+        self.attackers.traffic = traffic;
+        self.attack_target = target;
+        self
+    }
+
+    /// When the attackers start.
+    pub fn attacker_start(mut self, start: StartSchedule) -> Self {
+        self.attackers.start = start;
+        self
+    }
+
+    /// Override the simulated duration.
+    pub fn sim_time(mut self, t: Nanos) -> Self {
+        self.scale.sim_time = t;
+        self
+    }
+
+    /// Override the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scale.seed = seed;
+        self
+    }
+
+    /// The resolved dumbbell bottleneck capacity.
+    pub fn resolved_bottleneck_bps(&self) -> u64 {
+        self.bandwidth.resolve(self.scale.senders())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumbbell_builder_defaults_and_overrides() {
+        let spec = ScenarioSpec::dumbbell(Scale::tiny())
+            .named("t")
+            .defense(DefenseKind::StopIt)
+            .fair_share(200_000)
+            .legit_per_as(2)
+            .users(TrafficSpec::repeated_file(20_000, 5 * SEC))
+            .attackers(TrafficSpec::cbr(500_000), AttackTarget::Victim)
+            .attacker_start(StartSchedule::Synchronized)
+            .seed(42)
+            .sim_time(10 * SEC);
+        assert_eq!(spec.name, "t");
+        assert_eq!(spec.defense.kind, DefenseKind::StopIt);
+        assert_eq!(spec.resolved_bottleneck_bps(), 200_000 * 16);
+        assert_eq!(spec.legit_per_as, 2);
+        assert_eq!(spec.users.traffic, TrafficSpec::RepeatedFile { bytes: 20_000, gap: 5 * SEC });
+        assert_eq!(spec.attackers.start, StartSchedule::Synchronized);
+        assert_eq!(spec.scale.seed, 42);
+        assert_eq!(spec.scale.sim_time, 10 * SEC);
+    }
+
+    #[test]
+    fn legit_fraction_rounds_down_but_keeps_one() {
+        let spec = ScenarioSpec::dumbbell(Scale::tiny()).legit_fraction(0.25);
+        assert_eq!(spec.legit_per_as, 1);
+        let spec =
+            ScenarioSpec::dumbbell(Scale { hosts_per_as: 8, ..Scale::tiny() }).legit_fraction(0.25);
+        assert_eq!(spec.legit_per_as, 2);
+        let spec = ScenarioSpec::dumbbell(Scale::tiny()).legit_fraction(0.0);
+        assert_eq!(spec.legit_per_as, 1);
+    }
+
+    #[test]
+    fn start_schedules() {
+        let s = StartSchedule::staggered(10, 100 * MILLI);
+        assert_eq!(s.start_of(0), 0);
+        assert_eq!(s.start_of(3), 300 * MILLI);
+        assert_eq!(s.start_of(13), 300 * MILLI);
+        assert_eq!(StartSchedule::Synchronized.start_of(99), 0);
+    }
+
+    #[test]
+    fn bandwidth_resolution() {
+        assert_eq!(Bandwidth::Absolute(5).resolve(100), 5);
+        assert_eq!(Bandwidth::PerSender(5).resolve(100), 500);
+    }
+
+    #[test]
+    fn strategic_priority_is_reasonable() {
+        let p = attacker_request_priority(&netfence_config(), 90, 10_000_000);
+        assert!((1..=12).contains(&p), "priority {p}");
+    }
+}

@@ -47,14 +47,29 @@ impl Default for SimConfig {
 
 #[derive(Debug)]
 enum EventKind {
-    FlowStart { flow: FlowId },
-    FlowTimer { flow: FlowId, token: u64 },
-    Arrive { node: NodeId, pkt: Packet },
-    TransmitDone { link: usize },
+    FlowStart {
+        flow: FlowId,
+    },
+    FlowTimer {
+        flow: FlowId,
+        token: u64,
+    },
+    Arrive {
+        node: NodeId,
+        pkt: Packet,
+    },
+    TransmitDone {
+        link: usize,
+    },
     /// Re-poll an idle link whose queue declined to release a packet (e.g.
     /// a strictly capped request channel waiting for tokens).
-    LinkPoll { link: usize },
-    ReleaseDelayed { out_link: usize, pkt: Packet },
+    LinkPoll {
+        link: usize,
+    },
+    ReleaseDelayed {
+        out_link: usize,
+        pkt: Packet,
+    },
     DefenseTick,
 }
 
@@ -319,8 +334,7 @@ impl Simulator {
         match self.links[link_idx].queue.dequeue(now) {
             Some(pkt) => self.start_transmission(link_idx, pkt),
             None => {
-                if self.links[link_idx].queue.len_pkts() > 0 && !self.links[link_idx].poll_pending
-                {
+                if self.links[link_idx].queue.len_pkts() > 0 && !self.links[link_idx].poll_pending {
                     self.links[link_idx].poll_pending = true;
                     self.schedule(now + LINK_POLL_INTERVAL, EventKind::LinkPoll { link: link_idx });
                 }
@@ -355,8 +369,8 @@ mod tests {
     use crate::defense::NoDefense;
     use crate::rng::SimRng;
     use crate::tcp::{TcpConfig, TcpFlow, TcpWorkload};
-    use crate::udp::UdpFlow;
     use crate::topology::QueueKind;
+    use crate::udp::UdpFlow;
 
     const HOST_A: u32 = 0x0a_00_00_01;
     const HOST_B: u32 = 0x0b_00_00_01;

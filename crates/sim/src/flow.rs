@@ -49,7 +49,7 @@ impl FlowActions {
 }
 
 /// Progress counters exposed by a flow for metrics and experiment output.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlowProgress {
     /// Application bytes delivered to the destination (goodput).
     pub delivered_bytes: u64,
@@ -69,11 +69,7 @@ impl FlowProgress {
         if self.completions.is_empty() {
             return None;
         }
-        let total: f64 = self
-            .completions
-            .iter()
-            .map(|(s, e, _)| (*e - *s) as f64 / 1e9)
-            .sum();
+        let total: f64 = self.completions.iter().map(|(s, e, _)| (*e - *s) as f64 / 1e9).sum();
         Some(total / self.completions.len() as f64)
     }
 

@@ -47,7 +47,7 @@ pub mod prelude {
         TcpSegment,
     };
     pub use crate::queue::{
-        Classifier, DrrQueue, DropTail, DualChannelQueue, HierDrrQueue, PriorityLevelQueue,
+        Classifier, DropTail, DrrQueue, DualChannelQueue, HierDrrQueue, PriorityLevelQueue,
         QueueDisc, RedQueue,
     };
     pub use crate::rng::SimRng;

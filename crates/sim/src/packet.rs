@@ -121,11 +121,7 @@ pub struct Packet {
 
 impl Clone for Packet {
     fn clone(&self) -> Self {
-        Packet {
-            ext: self.ext.as_ref().map(|e| e.clone_box()),
-            tcp: self.tcp,
-            ..*self
-        }
+        Packet { ext: self.ext.as_ref().map(|e| e.clone_box()), tcp: self.tcp, ..*self }
     }
 }
 
@@ -204,7 +200,8 @@ mod tests {
 
     #[test]
     fn tcp_constructor_carries_segment() {
-        let seg = TcpSegment { kind: TcpKind::Data, transfer: 1, seq: 7, ack: 0, retransmit: false };
+        let seg =
+            TcpSegment { kind: TcpKind::Data, transfer: 1, seq: 7, ack: 0, retransmit: false };
         let p = Packet::tcp(1, 10, 20, 1540, seg, 0);
         assert_eq!(p.protocol, Protocol::Tcp);
         assert_eq!(p.tcp.unwrap().seq, 7);

@@ -403,10 +403,9 @@ impl QueueDisc for HierDrrQueue {
     fn enqueue(&mut self, now: Nanos, pkt: Packet) -> Vec<Packet> {
         let as_class = u64::from(pkt.src_as);
         let size = pkt.size;
-        let q = self
-            .inner
-            .entry(as_class)
-            .or_insert_with(|| DrrQueue::new(Classifier::BySource, self.quantum, self.per_source_limit));
+        let q = self.inner.entry(as_class).or_insert_with(|| {
+            DrrQueue::new(Classifier::BySource, self.quantum, self.per_source_limit)
+        });
         let was_empty = q.is_empty();
         let dropped = q.enqueue(now, pkt);
         if dropped.is_empty() {
@@ -606,8 +605,7 @@ impl DualChannelQueue {
     fn refill(&mut self, now: Nanos) {
         let elapsed = now.saturating_sub(self.last_refill);
         self.last_refill = now;
-        self.request_tokens = (self.request_tokens
-            + elapsed as f64 / 1e9 * self.request_rate_bps)
+        self.request_tokens = (self.request_tokens + elapsed as f64 / 1e9 * self.request_rate_bps)
             .min(self.request_burst);
     }
 }
@@ -791,7 +789,7 @@ mod tests {
     #[test]
     fn priority_levels_served_highest_first() {
         let mut q = PriorityLevelQueue::new(1_000_000);
-        let mut mk = |prio: u8| {
+        let mk = |prio: u8| {
             let mut p = pkt(prio as u32, 92);
             p.priority = prio;
             p
@@ -807,7 +805,7 @@ mod tests {
     #[test]
     fn priority_queue_evicts_lower_priority_when_full() {
         let mut q = PriorityLevelQueue::new(200);
-        let mut mk = |prio: u8| {
+        let mk = |prio: u8| {
             let mut p = pkt(prio as u32, 92);
             p.priority = prio;
             p

@@ -421,7 +421,8 @@ impl TcpFlow {
                     self.rcv_next += 1;
                     self.progress.delivered_bytes += self.seg_payload_at_receiver(seg.seq);
                     while self.out_of_order.remove(&self.rcv_next) {
-                        self.progress.delivered_bytes += self.seg_payload_at_receiver(self.rcv_next);
+                        self.progress.delivered_bytes +=
+                            self.seg_payload_at_receiver(self.rcv_next);
                         self.rcv_next += 1;
                     }
                 } else if seg.seq > self.rcv_next {
@@ -562,11 +563,14 @@ mod tests {
         }
         let mut events: Vec<(Nanos, u64, Ev)> = Vec::new();
         let mut seq = 0u64;
-        let mut push = |events: &mut Vec<(Nanos, u64, Ev)>, t: Nanos, e: Ev, seq: &mut u64| {
+        let push = |events: &mut Vec<(Nanos, u64, Ev)>, t: Nanos, e: Ev, seq: &mut u64| {
             *seq += 1;
             events.push((t, *seq, e));
         };
-        let mut apply = |actions: FlowActions, now: Nanos, events: &mut Vec<(Nanos, u64, Ev)>, seq: &mut u64| {
+        let apply = |actions: FlowActions,
+                     now: Nanos,
+                     events: &mut Vec<(Nanos, u64, Ev)>,
+                     seq: &mut u64| {
             for p in actions.packets {
                 let arrive_at = if p.src == 1 { 2 } else { 1 };
                 push(events, now + rtt / 2, Ev::Pkt(p, arrive_at), seq);

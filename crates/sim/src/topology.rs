@@ -301,8 +301,7 @@ mod tests {
         let (net, a, z) = chain();
         assert_eq!(net.as_of_host(a), 1);
         assert_eq!(net.as_of_host(z), 2);
-        let access_routers: Vec<_> =
-            net.nodes.iter().filter(|n| n.is_access_router()).collect();
+        let access_routers: Vec<_> = net.nodes.iter().filter(|n| n.is_access_router()).collect();
         assert_eq!(access_routers.len(), 1);
     }
 

@@ -56,7 +56,13 @@ impl UdpFlow {
     }
 
     /// Create a UDP flow with an explicit pattern.
-    pub fn new(id: FlowId, src: HostAddr, dst: HostAddr, rate_bps: u64, pattern: UdpPattern) -> Self {
+    pub fn new(
+        id: FlowId,
+        src: HostAddr,
+        dst: HostAddr,
+        rate_bps: u64,
+        pattern: UdpPattern,
+    ) -> Self {
         UdpFlow {
             id,
             src,
@@ -136,27 +142,33 @@ impl Flow for UdpFlow {
     fn on_timer(&mut self, now: Nanos, token: u64) -> FlowActions {
         let mut actions = FlowActions::none();
         match token {
-            TOKEN_SEND => {
-                match self.on_phase(now) {
-                    Ok(()) => {
-                        actions
-                            .packets
-                            .push(Packet::udp(self.id, self.src, self.dst, self.pkt_size, now));
-                        self.progress.packets_sent += 1;
-                        actions.timers.push((now + self.send_interval(), TOKEN_SEND));
-                    }
-                    Err(next_on) => {
-                        actions.timers.push((next_on, TOKEN_SEND));
-                    }
+            TOKEN_SEND => match self.on_phase(now) {
+                Ok(()) => {
+                    actions.packets.push(Packet::udp(
+                        self.id,
+                        self.src,
+                        self.dst,
+                        self.pkt_size,
+                        now,
+                    ));
+                    self.progress.packets_sent += 1;
+                    actions.timers.push((now + self.send_interval(), TOKEN_SEND));
                 }
-            }
+                Err(next_on) => {
+                    actions.timers.push((next_on, TOKEN_SEND));
+                }
+            },
             TOKEN_ECHO => {
                 if self.received_since_echo {
                     // A small reverse-direction packet that lets the defense
                     // shim piggyback returned feedback for one-way traffic.
-                    actions
-                        .packets
-                        .push(Packet::udp(self.id, self.dst, self.src, self.echo_size, now));
+                    actions.packets.push(Packet::udp(
+                        self.id,
+                        self.dst,
+                        self.src,
+                        self.echo_size,
+                        now,
+                    ));
                     self.received_since_echo = false;
                 }
                 actions.timers.push((now + self.echo_interval, TOKEN_ECHO));
@@ -180,11 +192,7 @@ mod tests {
         let mut timers = f.start(0).timers;
         let mut sent = 0;
         let mut times = Vec::new();
-        while let Some(pos) = timers
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, (t, _))| *t)
-            .map(|(i, _)| i)
+        while let Some(pos) = timers.iter().enumerate().min_by_key(|(_, (t, _))| *t).map(|(i, _)| i)
         {
             let (now, tok) = timers.remove(pos);
             if now > until {
@@ -204,7 +212,7 @@ mod tests {
     fn cbr_rate_is_accurate() {
         // 1 Mbps with 1500 B packets => one packet every 12 ms => ~83/s.
         let mut f = UdpFlow::cbr(0, 1, 2, 1_000_000);
-        let (sent, _) = drain(&mut f, 1 * SEC);
+        let (sent, _) = drain(&mut f, SEC);
         assert!((80..=90).contains(&sent), "sent {sent}");
         assert_eq!(f.progress().packets_sent, sent);
     }
@@ -214,7 +222,13 @@ mod tests {
         // Ton = 0.5 s, Toff = 1.5 s at 1 Mbps: over 4 s there are two full
         // on-periods => ~2 × 42 packets, and no packet is timestamped inside
         // an off-period.
-        let mut f = UdpFlow::new(0, 1, 2, 1_000_000, UdpPattern::OnOff { on: 500 * MILLI, off: 1500 * MILLI });
+        let mut f = UdpFlow::new(
+            0,
+            1,
+            2,
+            1_000_000,
+            UdpPattern::OnOff { on: 500 * MILLI, off: 1500 * MILLI },
+        );
         let (sent, times) = drain(&mut f, 4 * SEC);
         assert!((75..=95).contains(&sent), "sent {sent}");
         for t in times {

@@ -80,7 +80,8 @@ mod tests {
                 SimRng::new(1),
             ))
         });
-        let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 2_000_000)));
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 2_000_000)));
         sim.run();
         let user_bps = sim.progress(user).goodput_bps(0, 60 * SEC);
         let attacker_bps = sim.progress(attacker).goodput_bps(0, 60 * SEC);

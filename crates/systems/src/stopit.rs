@@ -148,8 +148,11 @@ mod tests {
         let mut d = StopItDefense::new();
         d.auto_filter(VICTIM);
         d.allow(VICTIM, USER);
-        let mut sim =
-            Simulator::new(net(), Box::new(d), SimConfig { end_time: 20 * SEC, ..Default::default() });
+        let mut sim = Simulator::new(
+            net(),
+            Box::new(d),
+            SimConfig { end_time: 20 * SEC, ..Default::default() },
+        );
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -160,7 +163,8 @@ mod tests {
                 SimRng::new(1),
             ))
         });
-        let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
         sim.run();
         let d = sim.defense.as_any().downcast_ref::<StopItDefense>().unwrap();
         assert_eq!(d.filter_count(), 1, "one filter against the attacker");
@@ -178,8 +182,11 @@ mod tests {
         // The colluder never files a filter; StopIt's per-AS/per-source fair
         // queuing still gives the user a share of the bottleneck.
         let d = StopItDefense::new();
-        let mut sim =
-            Simulator::new(net(), Box::new(d), SimConfig { end_time: 60 * SEC, ..Default::default() });
+        let mut sim = Simulator::new(
+            net(),
+            Box::new(d),
+            SimConfig { end_time: 60 * SEC, ..Default::default() },
+        );
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -190,7 +197,8 @@ mod tests {
                 SimRng::new(1),
             ))
         });
-        let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 1_000_000)));
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 1_000_000)));
         sim.run();
         let user_bps = sim.progress(user).goodput_bps(0, 60 * SEC);
         let attacker_bps = sim.progress(attacker).goodput_bps(0, 60 * SEC);

@@ -150,11 +150,7 @@ impl DefenseSystem for TvaDefense {
                 // are dropped (they would be demoted to the legacy channel
                 // in full TVA — equivalent for the evaluation).
                 let valid = *authorized
-                    && self
-                        .held
-                        .get(&(pkt.src, pkt.dst))
-                        .map(|&exp| exp > now)
-                        .unwrap_or(false);
+                    && self.held.get(&(pkt.src, pkt.dst)).map(|&exp| exp > now).unwrap_or(false);
                 if valid {
                     RouterAction::Forward
                 } else {
@@ -196,8 +192,11 @@ mod tests {
         let mut d = TvaDefense::new();
         d.deny_by_default(VICTIM);
         d.allow(VICTIM, USER);
-        let mut sim =
-            Simulator::new(net(), Box::new(d), SimConfig { end_time: 20 * SEC, ..Default::default() });
+        let mut sim = Simulator::new(
+            net(),
+            Box::new(d),
+            SimConfig { end_time: 20 * SEC, ..Default::default() },
+        );
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -208,7 +207,8 @@ mod tests {
                 SimRng::new(1),
             ))
         });
-        let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
         sim.run();
         // The attacker never obtains a capability: its 1 Mbps flood is
         // squeezed into the 5% request channel.
@@ -226,8 +226,11 @@ mod tests {
         // half the bottleneck while the victim's many legitimate senders
         // share the other half — the TVA+ weakness the paper highlights.
         let d = TvaDefense::new();
-        let mut sim =
-            Simulator::new(net(), Box::new(d), SimConfig { end_time: 60 * SEC, ..Default::default() });
+        let mut sim = Simulator::new(
+            net(),
+            Box::new(d),
+            SimConfig { end_time: 60 * SEC, ..Default::default() },
+        );
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -238,7 +241,8 @@ mod tests {
                 SimRng::new(1),
             ))
         });
-        let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 1_500_000)));
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 1_500_000)));
         sim.run();
         let user_bps = sim.progress(user).goodput_bps(0, 60 * SEC);
         let attacker_bps = sim.progress(attacker).goodput_bps(0, 60 * SEC);

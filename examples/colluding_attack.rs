@@ -1,28 +1,39 @@
-//! Scenario example: colluding sender-receiver pairs (the Figure 9 setting).
+//! Scenario example: colluding sender-receiver pairs (the Figure 9 setting),
+//! written directly against the declarative `ScenarioSpec` → `Runner` →
+//! `Record` API.
 //!
 //! Attackers pair with colluding receivers so capabilities/filters cannot
 //! help; NetFence still guarantees the legitimate TCP user a fair share of
 //! the bottleneck via per-(sender, bottleneck) rate limiting driven by
 //! secure congestion policing feedback.
 //!
-//! Run with: `cargo run --release -p netfence-experiments --example colluding_attack`
+//! Run with: `cargo run --release --example colluding_attack`
 
-use netfence_experiments::fig9::{run_fig9_cell, UserTraffic};
-use netfence_experiments::{DefenseKind, Scale};
-use netfence_sim::time::SEC;
+use netfence::experiments::prelude::*;
+use netfence::sim::time::SEC;
 
 fn main() {
     let mut scale = Scale::tiny();
     scale.sim_time = 120 * SEC;
-    println!("Simulating {} senders (25% legitimate), colluding UDP floods, 120 s...", scale.senders());
+    println!(
+        "Simulating {} senders (25% legitimate), colluding UDP floods, 120 s...",
+        scale.senders()
+    );
     for system in [DefenseKind::None, DefenseKind::NetFence, DefenseKind::Fq] {
-        let p = run_fig9_cell(&scale, system, UserTraffic::LongRunning, 100_000, 100_000);
+        let spec = ScenarioSpec::dumbbell(scale)
+            .named("colluding-attack")
+            .defense(system)
+            .fair_share(100_000)
+            .legit_fraction(0.25)
+            .users(TrafficSpec::LongRunningTcp)
+            .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Colluders { ases: 4 });
+        let r = Runner::new(spec).run();
         println!(
             "  {:<9} user/attacker throughput ratio: {:>5.2}   fairness index: {:.3}   utilization: {:>5.1}%",
             system.label(),
-            p.throughput_ratio,
-            p.fairness_index,
-            p.utilization * 100.0
+            r.throughput_ratio(),
+            r.user_fairness(),
+            r.bottleneck_utilization() * 100.0
         );
     }
     println!("\nShape to expect (paper Fig. 9a): NetFence ratio near 1, undefended near 0.");

@@ -6,7 +6,7 @@
 //! and the access router then rate-limits the sender and adjusts the limit
 //! with the robust AIMD rule.
 //!
-//! Run with: `cargo run -p netfence-experiments --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
 use netfence_core::prelude::*;
 use netfence_core::{bottleneck::BottleneckLink, config::Config};
@@ -16,9 +16,14 @@ fn main() {
     // Figure 3 parameters.
     let cfg = Config::default();
     println!("NetFence parameters (Figure 3):");
-    println!("  Ilim = {} s, w = {} s, Δ = {} kbps, δ = {}, p_th = {}",
-        cfg.ilim / SEC, cfg.feedback_expiry / SEC, cfg.additive_increase / 1000,
-        cfg.multiplicative_decrease, cfg.loss_threshold);
+    println!(
+        "  Ilim = {} s, w = {} s, Δ = {} kbps, δ = {}, p_th = {}",
+        cfg.ilim / SEC,
+        cfg.feedback_expiry / SEC,
+        cfg.additive_increase / 1000,
+        cfg.multiplicative_decrease,
+        cfg.loss_threshold
+    );
 
     // Two ASes establish Passport-style pairwise keys.
     let agents = vec![AsKeyAgent::new(1, 11), AsKeyAgent::new(2, 22)];
@@ -44,7 +49,9 @@ fn main() {
     let mut now = SEC;
     while !bottleneck.in_mon() {
         now += SEC;
-        for i in 0..200 { bottleneck.record_regular(1500, i % 5 == 0); }
+        for i in 0..200 {
+            bottleneck.record_regular(1500, i % 5 == 0);
+        }
         bottleneck.tick(now);
     }
     bottleneck.update_feedback(now, flow, AsId(1), &mut header.presented);
@@ -56,15 +63,21 @@ fn main() {
     let mut regular = NetFenceHeader::regular(6, echoed, None);
     let verdict = access.process_outbound(now, flow, &mut regular, 1500);
     println!("regular packet presenting L↓ -> {verdict:?}");
-    println!("rate limiter installed: {} (limit {} kbps)",
+    println!(
+        "rate limiter installed: {} (limit {} kbps)",
         access.limiter_count(),
-        access.rate_limit(flow.src, LinkId(500)).unwrap() / 1000);
+        access.rate_limit(flow.src, LinkId(500)).unwrap() / 1000
+    );
 
     for k in 1..=5u64 {
         let adjustments = access.tick(now + k * cfg.ilim);
         for (key, what) in adjustments {
-            println!("  control interval {k}: limiter for link {} -> {:?}, limit now {} kbps",
-                key.link.0, what, access.rate_limit(flow.src, key.link).unwrap() / 1000);
+            println!(
+                "  control interval {k}: limiter for link {} -> {:?}, limit now {} kbps",
+                key.link.0,
+                what,
+                access.rate_limit(flow.src, key.link).unwrap() / 1000
+            );
         }
     }
     println!("\nDone: this is the closed control loop the paper builds its fairness guarantee on.");

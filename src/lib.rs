@@ -1,0 +1,36 @@
+//! # netfence
+//!
+//! Facade crate for the NetFence (SIGCOMM 2010) reproduction workspace. It
+//! re-exports the sub-crates under stable names and hosts the
+//! repository-level integration tests (`tests/`) and runnable examples
+//! (`examples/`).
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] | Sans-I/O protocol state machines (feedback, AIMD, policing) |
+//! | [`crypto`] | Software AES-128, AES-CMAC, Passport-style key exchange |
+//! | [`sim`] | Deterministic packet-level discrete-event simulator |
+//! | [`systems`] | NetFence / TVA+ / StopIt / FQ bound to the simulator |
+//! | [`experiments`] | Declarative `ScenarioSpec` → `Runner` → `Record` API |
+//!
+//! Quickstart — run a scenario through the declarative API:
+//!
+//! ```
+//! use netfence::experiments::prelude::*;
+//!
+//! let spec = ScenarioSpec::dumbbell(Scale::tiny())
+//!     .defense(DefenseKind::NetFence)
+//!     .fair_share(100_000)
+//!     .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Colluders { ases: 2 });
+//! let record = Runner::new(spec).run();
+//! assert!(record.throughput_ratio() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use netfence_core as core;
+pub use netfence_crypto as crypto;
+pub use netfence_experiments as experiments;
+pub use netfence_sim as sim;
+pub use netfence_systems as systems;

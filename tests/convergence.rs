@@ -17,9 +17,8 @@ fn aimd_fluid_convergence_to_fair_share() {
     let cfg = Config::default();
     let capacity = 2_000_000.0;
     let n = 20;
-    let mut limiters: Vec<AimdState> = (0..n)
-        .map(|i| AimdState::with_rate(50_000 + 17_000 * (i as u64 % 7), 0))
-        .collect();
+    let mut limiters: Vec<AimdState> =
+        (0..n).map(|i| AimdState::with_rate(50_000 + 17_000 * (i as u64 % 7), 0)).collect();
     for step in 1..400u64 {
         let now = step * cfg.ilim;
         let total: f64 = limiters.iter().map(|l| l.rate() as f64).sum();
@@ -55,7 +54,15 @@ fn multibottleneck_designs_restore_fair_share() {
     let single = run_fig10_fluid(8, 300);
     let multi = run_fig13(8, 300);
     for (s, m) in single.iter().zip(&multi) {
-        assert!(m.group_a_user_bps >= 0.7 * m.fair_share_bps, "{}: B.1 user below fair share", m.case.label);
-        assert!(m.group_a_user_bps + 1.0 >= s.group_a_user_bps, "{}: B.1 worse than core", m.case.label);
+        assert!(
+            m.group_a_user_bps >= 0.7 * m.fair_share_bps,
+            "{}: B.1 user below fair share",
+            m.case.label
+        );
+        assert!(
+            m.group_a_user_bps + 1.0 >= s.group_a_user_bps,
+            "{}: B.1 worse than core",
+            m.case.label
+        );
     }
 }

@@ -20,7 +20,8 @@ fn figure3_parameters() {
 
 #[test]
 fn header_sizes_match_section_6_1() {
-    let mon = Feedback::Mon { link: LinkId(1), action: Action::Decr, ts: 9, token: 1, token_nop: None };
+    let mon =
+        Feedback::Mon { link: LinkId(1), action: Action::Decr, ts: 9, token: 1, token_nop: None };
     let nop = Feedback::Nop { ts: 9, token: 1 };
     let worst = NetFenceHeader::regular(6, mon, Some(mon));
     assert_eq!(worst.encoded_len(), 28, "worst case header is 28 bytes");

@@ -1,0 +1,98 @@
+//! Integration tests for the declarative `ScenarioSpec` → `Runner` →
+//! `Record` experiment API: every defense kind runs end to end, records are
+//! fully deterministic, and both topologies produce well-formed records.
+
+use netfence::experiments::prelude::*;
+use netfence::sim::time::SEC;
+
+fn tiny() -> Scale {
+    Scale { src_ases: 2, hosts_per_as: 3, sim_time: 20 * SEC, seed: 13 }
+}
+
+/// Regression: every `DefenseKind` builds through the unified `DefenseSpec`
+/// factory and completes a run at tiny scale, in both attack scenarios.
+#[test]
+fn every_defense_kind_runs_both_attack_scenarios() {
+    for kind in DefenseKind::EVERY {
+        for target in [AttackTarget::Victim, AttackTarget::Colluders { ases: 2 }] {
+            let spec = ScenarioSpec::dumbbell(tiny())
+                .named("all-kinds")
+                .defense(kind)
+                .fair_share(100_000)
+                .users(TrafficSpec::repeated_file(20_000, 2 * SEC))
+                .attackers(TrafficSpec::cbr(500_000), target);
+            let r = Runner::new(spec).run();
+            assert_eq!(r.defense, kind);
+            assert_eq!(r.senders, 6);
+            let users = r.group("users").expect("users group");
+            let attackers = r.group("attackers").expect("attackers group");
+            assert_eq!(users.flows.len(), 2, "{kind:?}/{target:?}");
+            assert_eq!(attackers.flows.len(), 4, "{kind:?}/{target:?}");
+            // Attackers always have demand; with no defense at least they
+            // must deliver something, so the run visibly simulated traffic.
+            let moved: u64 =
+                r.users().chain(r.attackers()).map(|p| p.delivered_bytes + p.packets_sent).sum();
+            assert!(moved > 0, "{kind:?}/{target:?}: nothing was simulated");
+        }
+    }
+}
+
+/// Regression: every defense kind also runs on the parking-lot topology.
+#[test]
+fn every_defense_kind_runs_the_parking_lot() {
+    let scale = Scale { src_ases: 1, hosts_per_as: 4, sim_time: 10 * SEC, seed: 5 };
+    for kind in DefenseKind::EVERY {
+        let spec = ScenarioSpec::parking_lot(scale, 3_200_000, 3_200_000).defense(kind);
+        let r = Runner::new(spec).run();
+        assert_eq!(r.roles.len(), 6, "{kind:?}");
+        assert_eq!(r.links.len(), 2, "{kind:?}");
+        assert!(r.fair_share_bps > 0.0);
+    }
+}
+
+/// Same spec + same seed ⇒ byte-identical `Record` (per-flow series, link
+/// stats and all derived metrics included).
+#[test]
+fn identical_specs_produce_identical_records() {
+    let spec = || {
+        ScenarioSpec::dumbbell(tiny())
+            .named("determinism")
+            .defense(DefenseKind::NetFence)
+            .fair_share(100_000)
+            .legit_fraction(0.34)
+            .users(TrafficSpec::WebLike)
+            .attackers(TrafficSpec::cbr(800_000), AttackTarget::Colluders { ases: 2 })
+    };
+    let a = Runner::new(spec()).run();
+    let b = Runner::new(spec()).run();
+    assert_eq!(a, b, "two runs of the same spec+seed diverged");
+
+    // A different seed must actually change the stochastic parts (web-like
+    // workload draws), proving the comparison above is not vacuous.
+    let c = Runner::new(spec().seed(99)).run();
+    assert_ne!(a, c, "changing the seed changed nothing — RNG not wired through");
+}
+
+/// The suppression override is honored: forcing suppression off in the
+/// unwanted-traffic scenario lets the flood through at full blast.
+#[test]
+fn suppression_override_changes_the_outcome() {
+    let base = || {
+        ScenarioSpec::dumbbell(tiny())
+            .defense(DefenseKind::StopIt)
+            .fair_share(100_000)
+            .attackers(TrafficSpec::cbr(500_000), AttackTarget::Victim)
+    };
+    let suppressed = Runner::new(base()).run(); // Auto ⇒ on for Victim target
+    let open = Runner::new(
+        base()
+            .defense_spec(DefenseSpec::new(DefenseKind::StopIt).with_suppression(Suppression::Off)),
+    )
+    .run();
+    assert!(
+        open.avg_attacker_bps() > 2.0 * suppressed.avg_attacker_bps().max(1.0),
+        "suppression off should let the flood through: {} vs {}",
+        open.avg_attacker_bps(),
+        suppressed.avg_attacker_bps()
+    );
+}
