@@ -1,0 +1,26 @@
+//! Incremental-deployment harness at reduced scale: how much simulation
+//! cost the per-node agent dispatch adds at zero, partial and full
+//! coverage (the fast path must stay cheap when most nodes are legacy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::deployment::run_deployment_cell;
+use netfence_experiments::{DefenseKind, Scale};
+use netfence_sim::time::SEC;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deployment_sweep");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    let scale = Scale { src_ases: 3, hosts_per_as: 3, sim_time: 20 * SEC, seed: 7 };
+    for coverage in [0.0f64, 0.5, 1.0] {
+        g.bench_function(format!("netfence_cov{coverage:.1}"), |b| {
+            b.iter(|| {
+                let p = run_deployment_cell(&scale, DefenseKind::NetFence, coverage);
+                std::hint::black_box(p.avg_user_bps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -157,6 +157,12 @@ impl AccessRouter {
         self.link_as.insert(link, as_id);
     }
 
+    /// Install the pairwise key shared with `peer` (learned from a
+    /// Passport-style key announcement after construction).
+    pub fn install_as_key(&mut self, peer: AsId, key: [u8; 16]) {
+        self.as_keys.install(peer.0, key);
+    }
+
     /// Give a host a larger request-token refill rate (e.g. a busy server).
     pub fn set_request_multiplier(&mut self, host: HostId, multiplier: f64) {
         self.request_multipliers.insert(host, multiplier);

@@ -78,6 +78,12 @@ impl BottleneckLink {
         self.link
     }
 
+    /// Install the pairwise key shared with the source AS `peer` (learned
+    /// from a Passport-style key announcement after construction).
+    pub fn install_as_key(&mut self, peer: AsId, key: [u8; 16]) {
+        self.as_keys.install(peer.0, key);
+    }
+
     /// The link capacity in bits per second.
     pub fn capacity(&self) -> Bps {
         self.capacity

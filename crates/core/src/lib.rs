@@ -24,7 +24,7 @@
 //! | Figure 18 access-router policing pipeline | [`access`] |
 //! | §3.1/§4.2 end-host shim behaviour | [`endpoint`] |
 //! | §4.5 per-AS damage localization | [`as_police`] |
-//! | §4.5 / [26] Passport source authentication | [`passport`] |
+//! | §4.5 / \[26\] Passport source authentication | [`passport`] |
 //! | Appendix B multi-bottleneck extensions | [`multi`] |
 //! | §7 congestion quota | [`congestion_quota`] |
 //! | Figure 3 parameters | [`config`] |

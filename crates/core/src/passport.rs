@@ -1,4 +1,4 @@
-//! Passport-style source authentication (§4.5 of the paper, [26]).
+//! Passport-style source authentication (§4.5 of the paper, \[26\]).
 //!
 //! NetFence uses Passport to prevent source address spoofing so that
 //! bottleneck routers can attribute traffic to its true source AS (needed

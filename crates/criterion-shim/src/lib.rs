@@ -19,7 +19,16 @@
 //! whichever comes first; the mean ns/iter is printed. This is deliberately
 //! much cheaper than real criterion (no outlier analysis, no HTML reports) —
 //! good enough for the relative comparisons the figures need.
+//!
+//! In addition to the console table, every bench process appends its
+//! results to a machine-readable **`BENCH_results.json`** (override the
+//! path with the `BENCH_RESULTS_PATH` environment variable): a JSON array
+//! of `{"group", "id", "mean_ns", "iters"}` objects, merged by
+//! `(group, id)` across bench binaries so one `cargo bench` run leaves one
+//! consolidated file for the perf trajectory. [`criterion_main!`] writes
+//! the file when the process's groups finish.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver (shim).
@@ -139,6 +148,131 @@ where
     let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
     let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
     println!("  {label:<48} {:>14} ns/iter ({total_iters} iters)", format_ns(mean_ns));
+    record_result(BenchResult {
+        group: group.to_string(),
+        id: id.to_string(),
+        mean_ns,
+        iters: total_iters,
+    });
+}
+
+/// One measured benchmark, as written to `BENCH_results.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark group ("" outside any group).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+fn record_result(r: BenchResult) {
+    results().lock().unwrap().push(r);
+}
+
+/// Serialize one result as a JSON object (our own fixed format; no serde in
+/// the offline workspace).
+fn to_json_line(r: &BenchResult) -> String {
+    // Group/id are bench-source identifiers; escape the characters that
+    // could break the string literal.
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.3},\"iters\":{}}}",
+        esc(&r.group),
+        esc(&r.id),
+        r.mean_ns,
+        r.iters
+    )
+}
+
+/// Parse one line previously written by [`to_json_line`] (used to merge
+/// results across bench binaries; unknown lines are ignored).
+fn from_json_line(line: &str) -> Option<BenchResult> {
+    let line = line.trim().trim_end_matches(',');
+    let field = |key: &str| -> Option<String> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        if let Some(stripped) = rest.strip_prefix('"') {
+            // Scan to the closing quote, honoring the \" and \\ escapes
+            // `to_json_line` produces.
+            let mut out = String::new();
+            let mut chars = stripped.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => return Some(out),
+                    '\\' => out.push(chars.next()?),
+                    _ => out.push(c),
+                }
+            }
+            None
+        } else {
+            let end = rest.find([',', '}'])?;
+            Some(rest[..end].to_string())
+        }
+    };
+    Some(BenchResult {
+        group: field("group")?,
+        id: field("id")?,
+        mean_ns: field("mean_ns")?.parse().ok()?,
+        iters: field("iters")?.parse().ok()?,
+    })
+}
+
+/// The output path: `$BENCH_RESULTS_PATH` or `BENCH_results.json` in the
+/// working directory (the package root under `cargo bench`).
+pub fn results_path() -> std::path::PathBuf {
+    std::env::var_os("BENCH_RESULTS_PATH")
+        .map(Into::into)
+        .unwrap_or_else(|| "BENCH_results.json".into())
+}
+
+/// Write (merging with any existing file) the results collected by this
+/// process to [`results_path`]. Called automatically by
+/// [`criterion_main!`]; harmless to call again.
+pub fn write_results() {
+    write_results_to(&results_path());
+}
+
+/// Write (merging with any existing file) the collected results to an
+/// explicit path.
+pub fn write_results_to(path: &std::path::Path) {
+    let mine = results().lock().unwrap().clone();
+    if mine.is_empty() {
+        return;
+    }
+    // Merge with results from other bench binaries of the same run, keyed
+    // by (group, id): the newest measurement wins.
+    let mut merged: Vec<BenchResult> = std::fs::read_to_string(path)
+        .map(|text| text.lines().filter_map(from_json_line).collect())
+        .unwrap_or_default();
+    for r in mine {
+        if let Some(slot) = merged.iter_mut().find(|m| m.group == r.group && m.id == r.id) {
+            *slot = r;
+        } else {
+            merged.push(r);
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in merged.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&to_json_line(r));
+        out.push_str(if i + 1 < merged.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("\nwrote {} ({} benchmarks)", path.display(), merged.len());
+    }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -164,12 +298,13 @@ macro_rules! criterion_group {
 }
 
 /// Shim for criterion's `criterion_main!`: generates `main` running each
-/// group.
+/// group, then writes `BENCH_results.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_results();
         }
     };
 }
@@ -197,5 +332,40 @@ mod tests {
         let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
         b.iter(|| std::hint::black_box(3u64.pow(7)));
         assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn json_roundtrip_and_merge() {
+        let r = BenchResult {
+            group: "fig8".into(),
+            id: "NetFence \"quick\"".into(),
+            mean_ns: 1234.5,
+            iters: 42,
+        };
+        let line = to_json_line(&r);
+        let back = from_json_line(&line).unwrap();
+        assert_eq!(back.group, r.group);
+        assert_eq!(back.id, r.id);
+        assert_eq!(back.iters, 42);
+        assert!((back.mean_ns - 1234.5).abs() < 1e-6);
+        // Array wrappers and garbage lines are ignored by the parser.
+        assert!(from_json_line("[").is_none());
+        assert!(from_json_line("]").is_none());
+    }
+
+    #[test]
+    fn results_file_is_written_and_merged() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        let prior = "[\n  {\"group\":\"old\",\"id\":\"kept\",\"mean_ns\":1.0,\"iters\":1}\n]\n";
+        std::fs::write(&path, prior).unwrap();
+        record_result(BenchResult { group: "g".into(), id: "new".into(), mean_ns: 2.0, iters: 3 });
+        write_results_to(&path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<BenchResult> = text.lines().filter_map(from_json_line).collect();
+        assert!(parsed.iter().any(|r| r.id == "kept"), "prior results survive: {text}");
+        assert!(parsed.iter().any(|r| r.id == "new" && r.iters == 3));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

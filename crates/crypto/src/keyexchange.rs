@@ -1,6 +1,6 @@
 //! Passport-style per-AS pairwise shared keys.
 //!
-//! NetFence relies on Passport [26] in two places (§4.4, §4.5):
+//! NetFence relies on Passport \[26\] in two places (§4.4, §4.5):
 //!
 //! 1. A bottleneck router stamps the `L↓` feedback with a MAC keyed by a
 //!    secret `Kai` shared between *its* AS and the *sender's* AS (Eq. 3).

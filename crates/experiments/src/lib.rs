@@ -9,7 +9,7 @@
 //! Every experiment is one declarative [`ScenarioSpec`] (topology, scale,
 //! defense, per-role traffic, attacker strategy), executed by a
 //! [`Runner`] that builds the network exactly once, instantiates the
-//! defense through the unified [`DefenseSpec`](spec::DefenseSpec) factory,
+//! defense through the unified [`DefenseSpec`] factory,
 //! spawns role-tagged flows and returns a uniform [`Record`] with per-role
 //! flow series and per-bottleneck statistics. Grids of (defense × sweep
 //! point) cells run through [`SweepGrid`], optionally on several threads.
@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod deployment;
 pub mod fig10;
 pub mod fig11;
 pub mod fig13;
@@ -50,7 +51,7 @@ pub mod spec;
 pub mod sweep;
 pub mod topo;
 
-pub use record::{LinkStats, Record, Role, RoleSeries};
+pub use record::{DefenseReport, LinkStats, Record, Role, RoleSeries};
 pub use runner::Runner;
 pub use spec::{
     AttackTarget, Bandwidth, DefenseKind, DefenseSpec, RoleSpec, Scale, ScenarioSpec,
@@ -60,7 +61,7 @@ pub use sweep::{Cell, SweepGrid};
 
 /// Commonly used re-exports for writing scenarios.
 pub mod prelude {
-    pub use crate::record::{LinkStats, Record, Role, RoleSeries};
+    pub use crate::record::{DefenseReport, LinkStats, Record, Role, RoleSeries};
     pub use crate::runner::Runner;
     pub use crate::spec::{
         netfence_config, AttackTarget, Bandwidth, DefenseContext, DefenseKind, DefenseSpec,
@@ -68,4 +69,5 @@ pub mod prelude {
         TrafficSpec,
     };
     pub use crate::sweep::{Cell, SweepGrid};
+    pub use netfence_sim::deploy::{DeploymentSpec, Placement};
 }

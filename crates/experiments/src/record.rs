@@ -1,13 +1,17 @@
 //! The uniform result of every scenario run.
 //!
-//! A [`Record`] carries the full per-flow progress of every role plus
-//! per-bottleneck link statistics, and derives from them every metric the
-//! paper's figures report (average goodput, throughput ratio, Jain fairness,
+//! A [`Record`] carries the full per-flow progress of every role,
+//! per-bottleneck link statistics and the deployment's typed
+//! [`DefenseReport`], and derives from them every metric the paper's
+//! figures report (average goodput, throughput ratio, Jain fairness,
 //! transfer times, completion ratios, utilization, loss). All harnesses,
-//! benches and tests read these accessors instead of keeping per-figure
-//! result structs.
+//! benches and tests read these accessors — and the report's counters —
+//! instead of keeping per-figure result structs or downcasting into
+//! defense internals.
 
 use netfence_sim::prelude::*;
+
+pub use netfence_sim::deploy::DefenseReport;
 
 use crate::spec::DefenseKind;
 
@@ -76,6 +80,9 @@ pub struct Record {
     pub roles: Vec<RoleSeries>,
     /// Per-bottleneck statistics (first entry = the tightest/primary one).
     pub links: Vec<LinkStats>,
+    /// The deployed defense's merged typed counters (rate limiters,
+    /// filters, capabilities, monitoring state, deployment extent).
+    pub report: DefenseReport,
 }
 
 impl Record {
@@ -201,6 +208,7 @@ mod tests {
                 utilization: 0.5,
                 loss: 0.1,
             }],
+            report: DefenseReport::default(),
         }
     }
 

@@ -1,11 +1,14 @@
 //! Turns a [`ScenarioSpec`] into a simulation and a [`Record`].
 //!
 //! The [`Runner`] is the single place where networks are built, defenses
-//! instantiated and flows spawned. It builds each network **exactly once**
-//! and moves it into the simulator (the pre-refactor harnesses rebuilt every
-//! dumbbell a second time just to keep the role metadata around), tags every
-//! flow with its role, runs the simulation, and collects the uniform
-//! [`Record`].
+//! deployed and flows spawned. It builds each network **exactly once** and
+//! moves it into the simulator (the pre-refactor harnesses rebuilt every
+//! dumbbell a second time just to keep the role metadata around), deploys
+//! the defense factory per the spec's [`DeploymentSpec`] (resolving
+//! coverage against the scenario's *source* ASes — destination and transit
+//! ASes deploy whenever coverage is nonzero), tags every flow with its
+//! role, runs the simulation, and collects the uniform [`Record`] including
+//! the deployment's typed [`DefenseReport`].
 
 use netfence_sim::prelude::*;
 
@@ -62,7 +65,9 @@ impl Runner {
             bottleneck_bps,
             attack_on_victim: spec.attack_target == AttackTarget::Victim,
         };
-        let defense = spec.defense.build(&ctx);
+        let factory = spec.defense.build(&ctx);
+        let sources: Vec<HostAddr> = users.iter().chain(&attackers).copied().collect();
+        let deployment = deploy_for_sources(&*factory, &net, &spec.defense.deployment, &sources);
 
         let planned = vec![
             PlannedGroup {
@@ -87,7 +92,7 @@ impl Runner {
         let links = vec![("bottleneck".to_string(), bottleneck, bottleneck_bps)];
         let senders = spec.scale.senders();
         let fair_share = bottleneck_bps as f64 / senders as f64;
-        self.simulate(net, defense, planned, links, senders, fair_share)
+        self.simulate(net, deployment, planned, links, senders, fair_share)
     }
 
     fn run_parking_lot(&self, l1_bps: u64, l2_bps: u64) -> Record {
@@ -110,7 +115,10 @@ impl Runner {
             bottleneck_bps,
             attack_on_victim: spec.attack_target == AttackTarget::Victim,
         };
-        let defense = spec.defense.build(&ctx);
+        let factory = spec.defense.build(&ctx);
+        let sources: Vec<HostAddr> =
+            groups.iter().flat_map(|g| g.users.iter().chain(&g.attackers).copied()).collect();
+        let deployment = deploy_for_sources(&*factory, &net, &spec.defense.deployment, &sources);
 
         let mut planned = Vec::new();
         for g in &groups {
@@ -136,14 +144,14 @@ impl Runner {
         let fair_share = bottleneck_bps as f64 / (2 * per_group) as f64;
         // The parking lot simulates three groups of per_group senders; the
         // dumbbell's src_ases × hosts_per_as does not apply here.
-        self.simulate(net, defense, planned, links, 3 * per_group, fair_share)
+        self.simulate(net, deployment, planned, links, 3 * per_group, fair_share)
     }
 
     /// Shared tail: spawn the planned role flows, run, collect.
     fn simulate(
         &self,
         net: Network,
-        defense: Box<dyn DefenseSystem>,
+        deployment: Deployment,
         planned: Vec<PlannedGroup>,
         links: Vec<(String, LinkAddr, u64)>,
         senders: usize,
@@ -152,7 +160,7 @@ impl Runner {
         let spec = &self.spec;
         let mut sim = Simulator::new(
             net,
-            defense,
+            deployment,
             SimConfig {
                 end_time: spec.scale.sim_time,
                 seed: spec.scale.seed,
@@ -206,8 +214,53 @@ impl Runner {
             fair_share_bps,
             roles,
             links,
+            report: sim.report(),
         }
     }
+}
+
+/// Deploy `factory` onto `net`, interpreting fractional coverage against
+/// the scenario's *source* ASes: the first (or seeded) `coverage` fraction
+/// of the ASes hosting senders deploy, and every other AS (destination
+/// side, transit core) deploys whenever coverage is nonzero — the paper's
+/// adoption story, where the infrastructure deploys first and source
+/// networks adopt incrementally for better service (§5.3). Explicit
+/// placements pass through untouched.
+fn deploy_for_sources(
+    factory: &dyn DefenseFactory,
+    net: &Network,
+    dspec: &DeploymentSpec,
+    sources: &[HostAddr],
+) -> Deployment {
+    let resolved = match &dspec.placement {
+        Placement::Explicit(_) => dspec.clone(),
+        Placement::FirstEdgeAses | Placement::Seeded(_) => {
+            if dspec.coverage <= 0.0 {
+                DeploymentSpec::explicit(Vec::new())
+            } else {
+                let mut src_ases: Vec<AsNum> = sources.iter().map(|&h| net.as_of_host(h)).collect();
+                src_ases.sort_unstable();
+                src_ases.dedup();
+                let seed = match dspec.placement {
+                    Placement::Seeded(seed) => Some(seed),
+                    _ => None,
+                };
+                let mut chosen =
+                    netfence_sim::deploy::pick_fraction(&src_ases, dspec.coverage, seed);
+                // Every non-source AS (victims, colluders, transit core)
+                // deploys alongside — even when the coverage fraction
+                // rounds to zero adopting source ASes.
+                let mut all: Vec<AsNum> = net.nodes.iter().map(|n| n.as_num()).collect();
+                all.sort_unstable();
+                all.dedup();
+                chosen.extend(all.into_iter().filter(|a| src_ases.binary_search(a).is_err()));
+                chosen.sort_unstable();
+                chosen.dedup();
+                DeploymentSpec::explicit(chosen)
+            }
+        }
+    };
+    factory.deploy(net, &resolved)
 }
 
 /// A per-flow seed derived from the scenario seed, stable across runs and

@@ -290,7 +290,8 @@ pub enum Suppression {
     Off,
 }
 
-/// The defense half of a cell: which system, how configured.
+/// The defense half of a cell: which system, how configured, and how much
+/// of the network deploys it.
 ///
 /// This is the unified factory every harness goes through —
 /// [`DefenseSpec::build`] replaces the per-figure `make_defense` copies.
@@ -302,12 +303,24 @@ pub struct DefenseSpec {
     pub netfence: Config,
     /// Victim suppression policy.
     pub suppression: Suppression,
+    /// Which ASes deploy the defense. For [`Placement::FirstEdgeAses`] and
+    /// [`Placement::Seeded`] the [`Runner`](crate::runner::Runner)
+    /// interprets `coverage` as the fraction of *source* ASes that deploy;
+    /// destination and transit ASes always deploy when coverage is nonzero
+    /// (the "infrastructure first" adoption story of §5.3).
+    pub deployment: DeploymentSpec,
 }
 
 impl DefenseSpec {
-    /// A defense with the experiment-default NetFence configuration.
+    /// A defense with the experiment-default NetFence configuration,
+    /// deployed everywhere.
     pub fn new(kind: DefenseKind) -> Self {
-        DefenseSpec { kind, netfence: netfence_config(), suppression: Suppression::Auto }
+        DefenseSpec {
+            kind,
+            netfence: netfence_config(),
+            suppression: Suppression::Auto,
+            deployment: DeploymentSpec::full(),
+        }
     }
 
     /// Override the NetFence protocol configuration.
@@ -322,11 +335,19 @@ impl DefenseSpec {
         self
     }
 
-    /// Construct the defense system for a built scenario. `ctx` carries the
-    /// role assignment the suppression mechanisms need; each
-    /// [`SuppressionGroup`] is one victim with the senders it knows about
-    /// (the dumbbell has one group, the parking lot three).
-    pub fn build(&self, ctx: &DefenseContext<'_>) -> Box<dyn DefenseSystem> {
+    /// Override the deployment extent.
+    pub fn with_deployment(mut self, d: DeploymentSpec) -> Self {
+        self.deployment = d;
+        self
+    }
+
+    /// Construct the defense factory for a built scenario; the
+    /// [`Runner`](crate::runner::Runner) deploys it according to
+    /// [`DefenseSpec::deployment`]. `ctx` carries the role assignment the
+    /// suppression mechanisms need; each [`SuppressionGroup`] is one victim
+    /// with the senders it knows about (the dumbbell has one group, the
+    /// parking lot three).
+    pub fn build(&self, ctx: &DefenseContext<'_>) -> Box<dyn DefenseFactory> {
         let suppress = match self.suppression {
             Suppression::Auto => ctx.attack_on_victim,
             Suppression::On => true,
@@ -506,6 +527,19 @@ impl ScenarioSpec {
     /// Replace the whole defense spec.
     pub fn defense_spec(mut self, defense: DefenseSpec) -> Self {
         self.defense = defense;
+        self
+    }
+
+    /// Set the deployment extent of the defense.
+    pub fn deployment(mut self, d: DeploymentSpec) -> Self {
+        self.defense.deployment = d;
+        self
+    }
+
+    /// Deploy the defense on only the first `coverage` fraction of source
+    /// ASes (destination and transit ASes deploy whenever `coverage > 0`).
+    pub fn coverage(mut self, coverage: f64) -> Self {
+        self.defense.deployment = DeploymentSpec::coverage(coverage);
         self
     }
 

@@ -1,0 +1,743 @@
+//! Per-node defense deployment: the API through which DoS defense systems
+//! are *deployed onto* a network instead of observing it from a global
+//! oracle.
+//!
+//! NetFence's thesis is "inside out": policing state lives at individual
+//! access routers, bottleneck routers and end-host shims, and the paper's
+//! deployment story only makes sense when some networks deploy and others
+//! don't. This module models exactly that:
+//!
+//! * a [`DefenseFactory`] deploys a defense onto a [`Network`] according to
+//!   a [`DeploymentSpec`] (which ASes adopt), producing a [`Deployment`];
+//! * a [`Deployment`] holds dense per-node agents — one optional
+//!   [`HostShim`] per host node, one optional [`RouterAgent`] per router
+//!   node — plus a per-link [`QueueFactory`] and a [`ControlPlane`] message
+//!   bus for out-of-band coordination (Passport key exchange, StopIt filter
+//!   requests);
+//! * nodes *without* an agent are legacy nodes: their hosts send plain
+//!   packets and their routers forward blindly, which is how partial
+//!   (incremental) deployment scenarios are expressed;
+//! * after a run, [`Deployment::report`] merges every agent's counters into
+//!   one typed [`DefenseReport`] — there is no downcasting to inspect
+//!   defense-specific state.
+//!
+//! The engine indexes agents by dense node id and links by dense link
+//! index, so the per-packet fast path never hashes.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use crate::packet::{AsNum, HostAddr, LinkAddr, Packet};
+use crate::queue::QueueDisc;
+use crate::time::Nanos;
+use crate::topology::{LinkSpec, Network, NodeId};
+
+/// What a router does with a packet about to be forwarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterAction {
+    /// Enqueue on the outgoing link now.
+    Forward,
+    /// Hold the packet (e.g. in an access-router rate limiter) and enqueue
+    /// it at the given absolute time.
+    Delay {
+        /// When to release the packet.
+        release_at: Nanos,
+    },
+    /// Drop the packet.
+    Drop,
+}
+
+/// A dense reference to a link handed to router agents: the engine-side
+/// index (for dense agent state) plus the protocol-visible address (what
+/// NetFence feedback calls the link's IP address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRef {
+    /// Index into [`Network::links`].
+    pub index: usize,
+    /// Protocol-level link address.
+    pub addr: LinkAddr,
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+/// An addressable agent on the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The host shim at a host node.
+    Host(NodeId),
+    /// The router agent at a router node.
+    Router(NodeId),
+}
+
+/// One queued control-plane message.
+pub struct ControlMsg {
+    /// Destination agent.
+    pub to: Endpoint,
+    /// Type-erased payload; the receiving agent downcasts to the message
+    /// types it understands and ignores the rest.
+    pub payload: Box<dyn Any>,
+}
+
+impl std::fmt::Debug for ControlMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ControlMsg {{ to: {:?} }}", self.to)
+    }
+}
+
+/// The out-of-band coordination bus of a deployment.
+///
+/// Agents cannot reach into each other's state: anything that crosses a
+/// node boundary outside a packet — Passport AES key announcements, StopIt
+/// filter-installation requests — travels as a message. The engine drains
+/// the bus after every hook invocation, delivering at the current simulated
+/// time (control traffic is modelled as reliable and prompt; its bandwidth
+/// is negligible next to the data plane).
+#[derive(Debug, Default)]
+pub struct ControlPlane {
+    outbox: Vec<ControlMsg>,
+    host_node: HashMap<HostAddr, NodeId>,
+    access_router: HashMap<HostAddr, NodeId>,
+    /// Messages delivered to an agent.
+    pub delivered: u64,
+    /// Messages addressed to a legacy (agent-less) node and dropped — the
+    /// partial-deployment failure mode (e.g. a StopIt filter request for a
+    /// source whose AS never deployed).
+    pub undeliverable: u64,
+}
+
+impl ControlPlane {
+    /// A control plane with the address books of `net`.
+    pub fn for_network(net: &Network) -> Self {
+        ControlPlane {
+            outbox: Vec::new(),
+            host_node: net.host_index.clone(),
+            access_router: net.access_router.clone(),
+            delivered: 0,
+            undeliverable: 0,
+        }
+    }
+
+    /// Queue a message to the shim of host `host`. Returns false when the
+    /// address is unknown.
+    pub fn to_host(&mut self, host: HostAddr, payload: impl Any) -> bool {
+        match self.host_node.get(&host) {
+            Some(&node) => {
+                self.outbox
+                    .push(ControlMsg { to: Endpoint::Host(node), payload: Box::new(payload) });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Queue a message to the router agent at `node`.
+    pub fn to_router(&mut self, node: NodeId, payload: impl Any) {
+        self.outbox.push(ControlMsg { to: Endpoint::Router(node), payload: Box::new(payload) });
+    }
+
+    /// Queue a message to the access router of `host` (how StopIt filter
+    /// requests find the router nearest the source). Returns false when the
+    /// host has no access router.
+    pub fn to_access_router_of(&mut self, host: HostAddr, payload: impl Any) -> bool {
+        match self.access_router.get(&host) {
+            Some(&node) => {
+                self.outbox
+                    .push(ControlMsg { to: Endpoint::Router(node), payload: Box::new(payload) });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of queued, undelivered messages.
+    pub fn pending(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Take the queued messages for delivery (used by the engine).
+    pub fn take_outbox(&mut self) -> Vec<ControlMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Agent traits
+// ---------------------------------------------------------------------------
+
+/// The defense agent running on one end host (the "shim layer between IP
+/// and TCP/UDP" of §3.1). All methods default to no-ops.
+pub trait HostShim: std::fmt::Debug {
+    /// The host is about to hand a packet to the network: attach shim
+    /// headers, set the channel/priority, grow the wire size.
+    fn on_send(&mut self, _now: Nanos, _pkt: &mut Packet, _ctl: &mut ControlPlane) {}
+
+    /// A packet arrived at this host, before the transport sees it.
+    fn on_receive(&mut self, _now: Nanos, _pkt: &Packet, _ctl: &mut ControlPlane) {}
+
+    /// A control-plane message addressed to this host arrived.
+    fn on_control(&mut self, _now: Nanos, _msg: Box<dyn Any>, _ctl: &mut ControlPlane) {}
+
+    /// Periodic housekeeping, every `defense_tick`.
+    fn tick(&mut self, _now: Nanos, _ctl: &mut ControlPlane) {}
+
+    /// Merge this shim's counters into the deployment-wide report.
+    fn report(&self, _out: &mut DefenseReport) {}
+}
+
+/// The defense agent running on one router. All methods default to no-ops
+/// (a legacy router simply has no agent at all).
+pub trait RouterAgent: std::fmt::Debug {
+    /// The router is about to enqueue `pkt` on `out_link`; `is_access`
+    /// tells whether this router is the packet's access router (first
+    /// router after the sending host).
+    fn at_router(
+        &mut self,
+        _now: Nanos,
+        _is_access: bool,
+        _out_link: LinkRef,
+        _pkt: &mut Packet,
+        _ctl: &mut ControlPlane,
+    ) -> RouterAction {
+        RouterAction::Forward
+    }
+
+    /// A packet this agent previously delayed via [`RouterAction::Delay`]
+    /// is being released.
+    fn on_delayed_release(&mut self, _now: Nanos, _pkt: &mut Packet, _ctl: &mut ControlPlane) {}
+
+    /// A packet is being pulled off one of this router's outgoing links for
+    /// transmission (bottleneck routers stamp congestion policing feedback
+    /// here).
+    fn on_link_dequeue(&mut self, _now: Nanos, _link: LinkRef, _pkt: &mut Packet) {}
+
+    /// One of this router's outgoing links dropped a packet from its queue.
+    fn on_link_drop(&mut self, _now: Nanos, _link: LinkRef, _pkt: &Packet) {}
+
+    /// A control-plane message addressed to this router arrived.
+    fn on_control(&mut self, _now: Nanos, _msg: Box<dyn Any>, _ctl: &mut ControlPlane) {}
+
+    /// Periodic housekeeping (control-interval AIMD, detection EWMAs, …).
+    fn tick(&mut self, _now: Nanos, _ctl: &mut ControlPlane) {}
+
+    /// Merge this agent's counters into the deployment-wide report.
+    fn report(&self, _out: &mut DefenseReport) {}
+}
+
+/// Per-link queue-discipline construction for a deployment. Returning
+/// `None` keeps the engine's default (DropTail/RED per the topology).
+pub trait QueueFactory: std::fmt::Debug {
+    /// Build the queue for link `link_index` with spec `spec`, or `None`
+    /// for the default.
+    fn make_queue(&mut self, link_index: usize, spec: &LinkSpec) -> Option<Box<dyn QueueDisc>>;
+}
+
+/// The default: every link keeps its topology-declared discipline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultQueues;
+
+impl QueueFactory for DefaultQueues {
+    fn make_queue(&mut self, _link_index: usize, _spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deployment spec
+// ---------------------------------------------------------------------------
+
+/// Which ASes a partial deployment covers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// `coverage` applies to the host-bearing (edge) ASes in ascending AS
+    /// order: the first `round(coverage · n)` deploy. Hostless transit ASes
+    /// deploy whenever at least one edge AS does (the "infrastructure
+    /// first" adoption story of §5.3).
+    FirstEdgeAses,
+    /// Like [`Placement::FirstEdgeAses`] but the deploying edge ASes are
+    /// picked pseudo-randomly from the given seed.
+    Seeded(u64),
+    /// Exactly these ASes deploy; `coverage` is ignored.
+    Explicit(Vec<AsNum>),
+}
+
+/// How much of the network deploys the defense.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSpec {
+    /// Fraction of edge ASes that deploy (0.0 = pure legacy network,
+    /// 1.0 = universal deployment).
+    pub coverage: f64,
+    /// Which ASes the coverage falls on.
+    pub placement: Placement,
+}
+
+impl Default for DeploymentSpec {
+    fn default() -> Self {
+        DeploymentSpec::full()
+    }
+}
+
+impl DeploymentSpec {
+    /// Universal deployment (every AS).
+    pub fn full() -> Self {
+        DeploymentSpec { coverage: 1.0, placement: Placement::FirstEdgeAses }
+    }
+
+    /// No deployment anywhere (equivalent to an undefended network).
+    pub fn none() -> Self {
+        DeploymentSpec { coverage: 0.0, placement: Placement::FirstEdgeAses }
+    }
+
+    /// Deploy on the first `coverage` fraction of edge ASes.
+    pub fn coverage(coverage: f64) -> Self {
+        DeploymentSpec { coverage: coverage.clamp(0.0, 1.0), placement: Placement::FirstEdgeAses }
+    }
+
+    /// Deploy on a seeded pseudo-random `coverage` fraction of edge ASes.
+    pub fn seeded(coverage: f64, seed: u64) -> Self {
+        DeploymentSpec { coverage: coverage.clamp(0.0, 1.0), placement: Placement::Seeded(seed) }
+    }
+
+    /// Deploy on exactly the listed ASes.
+    pub fn explicit(ases: Vec<AsNum>) -> Self {
+        DeploymentSpec { coverage: 1.0, placement: Placement::Explicit(ases) }
+    }
+
+    /// Resolve which ASes of `net` deploy, sorted ascending.
+    pub fn deploying_ases(&self, net: &Network) -> Vec<AsNum> {
+        let (edge, transit) = partition_ases(net);
+        let all: Vec<AsNum> = {
+            let mut v = edge.clone();
+            v.extend(&transit);
+            v.sort_unstable();
+            v
+        };
+        match &self.placement {
+            Placement::Explicit(list) => {
+                let mut v: Vec<AsNum> = all.iter().copied().filter(|a| list.contains(a)).collect();
+                v.sort_unstable();
+                v
+            }
+            Placement::FirstEdgeAses | Placement::Seeded(_) => {
+                let seed = match &self.placement {
+                    Placement::Seeded(seed) => Some(*seed),
+                    _ => None,
+                };
+                let mut chosen = pick_fraction(&edge, self.coverage, seed);
+                if chosen.is_empty() {
+                    return Vec::new();
+                }
+                chosen.extend(transit);
+                chosen.sort_unstable();
+                chosen
+            }
+        }
+    }
+
+    /// Resolve the spec against `net` into per-node deployment flags.
+    pub fn resolve(&self, net: &Network) -> DeployMap {
+        let ases = self.deploying_ases(net);
+        let (edge, transit) = partition_ases(net);
+        let node_deployed =
+            net.nodes.iter().map(|n| ases.binary_search(&n.as_num()).is_ok()).collect();
+        DeployMap { node_deployed, ases, total_ases: edge.len() + transit.len() }
+    }
+}
+
+/// Partition a network's ASes into (edge, transit): edge ASes contain at
+/// least one host, transit ASes are router-only. Both lists come back
+/// sorted ascending and deduplicated, in one pass over the nodes.
+fn partition_ases(net: &Network) -> (Vec<AsNum>, Vec<AsNum>) {
+    let mut host_as: Vec<AsNum> = Vec::new();
+    let mut router_as: Vec<AsNum> = Vec::new();
+    for n in &net.nodes {
+        if n.host_addr().is_some() {
+            host_as.push(n.as_num());
+        } else {
+            router_as.push(n.as_num());
+        }
+    }
+    host_as.sort_unstable();
+    host_as.dedup();
+    router_as.sort_unstable();
+    router_as.dedup();
+    let transit: Vec<AsNum> =
+        router_as.into_iter().filter(|a| host_as.binary_search(a).is_err()).collect();
+    (host_as, transit)
+}
+
+/// Pick the first (or, with `seed`, a pseudo-random) `coverage` fraction
+/// of `ases` (sorted ascending, deduplicated). This is the single
+/// coverage-selection rule, shared by [`DeploymentSpec::deploying_ases`]
+/// and the experiment runner's source-AS interpretation — the two must
+/// agree or `coverage = 1.0` would stop reproducing full deployment.
+pub fn pick_fraction(ases: &[AsNum], coverage: f64, seed: Option<u64>) -> Vec<AsNum> {
+    let k = (coverage.clamp(0.0, 1.0) * ases.len() as f64).round() as usize;
+    let k = k.min(ases.len());
+    match seed {
+        Some(seed) => {
+            let mut keyed: Vec<(u64, AsNum)> = ases
+                .iter()
+                .map(|&a| {
+                    let mut x = seed ^ (a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    (crate::rng::splitmix64(&mut x), a)
+                })
+                .collect();
+            keyed.sort_unstable();
+            keyed.into_iter().take(k).map(|(_, a)| a).collect()
+        }
+        None => ases.iter().copied().take(k).collect(),
+    }
+}
+
+/// A [`DeploymentSpec`] resolved against a concrete network.
+#[derive(Debug, Clone)]
+pub struct DeployMap {
+    node_deployed: Vec<bool>,
+    /// The deploying ASes, sorted ascending.
+    pub ases: Vec<AsNum>,
+    /// Total number of ASes in the network.
+    pub total_ases: usize,
+}
+
+impl DeployMap {
+    /// Whether the node deploys the defense.
+    pub fn node(&self, node: NodeId) -> bool {
+        self.node_deployed[node.0]
+    }
+
+    /// Whether an AS deploys the defense.
+    pub fn as_deployed(&self, as_num: AsNum) -> bool {
+        self.ases.binary_search(&as_num).is_ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// The typed post-run summary of a deployment, merged from every agent's
+/// counters. This replaces the old `as_any()` downcast paths: the fields a
+/// given defense does not use simply stay zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefenseReport {
+    /// Short defense name ("netfence", "tva+", "stopit", "fq", "none").
+    pub name: &'static str,
+    /// How many ASes deployed the defense.
+    pub deployed_ases: usize,
+    /// Total ASes in the network.
+    pub total_ases: usize,
+    /// Host shims installed.
+    pub host_shims: usize,
+    /// Router agents installed.
+    pub router_agents: usize,
+    /// Packets dropped by access-router request limiters (NetFence).
+    pub request_drops: u64,
+    /// Packets dropped by per-(sender, bottleneck) rate limiters
+    /// (NetFence).
+    pub regular_drops: u64,
+    /// Packets dropped by per-AS damage-localization policers (NetFence
+    /// §4.5).
+    pub as_policer_drops: u64,
+    /// Packets dropped by installed filters (StopIt).
+    pub filtered_drops: u64,
+    /// Unauthorized regular packets dropped (TVA+).
+    pub unauthorized_drops: u64,
+    /// Packets whose feedback was stamped `L↓` at a bottleneck (NetFence).
+    pub stamped_decr: u64,
+    /// Per-(sender, bottleneck) rate limiters across all access routers
+    /// (NetFence's scalability metric, §5.1).
+    pub rate_limiters: usize,
+    /// Filters installed across all routers (StopIt).
+    pub filters: usize,
+    /// Capability grants across all receivers (TVA+).
+    pub capabilities_granted: usize,
+    /// Bottleneck links currently inside a monitoring cycle (NetFence).
+    pub links_in_mon: Vec<LinkAddr>,
+    /// Control-plane messages delivered.
+    pub control_delivered: u64,
+    /// Control-plane messages dropped at legacy nodes.
+    pub control_undeliverable: u64,
+}
+
+impl Default for DefenseReport {
+    fn default() -> Self {
+        DefenseReport {
+            name: "none",
+            deployed_ases: 0,
+            total_ases: 0,
+            host_shims: 0,
+            router_agents: 0,
+            request_drops: 0,
+            regular_drops: 0,
+            as_policer_drops: 0,
+            filtered_drops: 0,
+            unauthorized_drops: 0,
+            stamped_decr: 0,
+            rate_limiters: 0,
+            filters: 0,
+            capabilities_granted: 0,
+            links_in_mon: Vec::new(),
+            control_delivered: 0,
+            control_undeliverable: 0,
+        }
+    }
+}
+
+impl DefenseReport {
+    /// Whether a bottleneck link is currently in a monitoring cycle.
+    pub fn link_in_mon(&self, link: LinkAddr) -> bool {
+        self.links_in_mon.contains(&link)
+    }
+
+    /// Total packets the defense dropped across all mechanisms.
+    pub fn total_defense_drops(&self) -> u64 {
+        self.request_drops
+            + self.regular_drops
+            + self.as_policer_drops
+            + self.filtered_drops
+            + self.unauthorized_drops
+    }
+
+    /// Deployed fraction of the network's ASes.
+    pub fn deployed_fraction(&self) -> f64 {
+        if self.total_ases == 0 {
+            0.0
+        } else {
+            self.deployed_ases as f64 / self.total_ases as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deployment
+// ---------------------------------------------------------------------------
+
+/// A defense deployed onto a network: dense per-node agents, a queue
+/// factory and the control-plane bus, ready to be moved into a
+/// [`Simulator`](crate::engine::Simulator).
+#[derive(Debug)]
+pub struct Deployment {
+    /// Short defense name.
+    pub name: &'static str,
+    /// One optional host shim per node (host nodes only; router slots stay
+    /// `None`).
+    pub hosts: Vec<Option<Box<dyn HostShim>>>,
+    /// One optional router agent per node.
+    pub routers: Vec<Option<Box<dyn RouterAgent>>>,
+    /// Per-link queue construction.
+    pub queues: Box<dyn QueueFactory>,
+    /// The out-of-band coordination bus. Messages queued here at deploy
+    /// time (e.g. key announcements) are delivered when the simulator is
+    /// constructed.
+    pub bus: ControlPlane,
+    /// ASes that deployed.
+    pub deployed_ases: usize,
+    /// Total ASes in the network.
+    pub total_ases: usize,
+}
+
+impl Deployment {
+    /// Start building a deployment for `net`.
+    pub fn builder<'a>(net: &'a Network, name: &'static str) -> DeploymentBuilder<'a> {
+        DeploymentBuilder {
+            net,
+            name,
+            hosts: (0..net.nodes.len()).map(|_| None).collect(),
+            routers: (0..net.nodes.len()).map(|_| None).collect(),
+            queues: None,
+            deployed_ases: 0,
+            total_ases: 0,
+        }
+    }
+
+    /// The empty deployment: a pure legacy network with default queues.
+    pub fn undefended(net: &Network) -> Deployment {
+        Deployment::builder(net, "none").build()
+    }
+
+    /// Merge every agent's counters into one typed report.
+    pub fn report(&self) -> DefenseReport {
+        let mut out = DefenseReport {
+            name: self.name,
+            deployed_ases: self.deployed_ases,
+            total_ases: self.total_ases,
+            host_shims: self.hosts.iter().flatten().count(),
+            router_agents: self.routers.iter().flatten().count(),
+            control_delivered: self.bus.delivered,
+            control_undeliverable: self.bus.undeliverable,
+            ..DefenseReport::default()
+        };
+        for shim in self.hosts.iter().flatten() {
+            shim.report(&mut out);
+        }
+        for agent in self.routers.iter().flatten() {
+            agent.report(&mut out);
+        }
+        out.links_in_mon.sort_unstable();
+        out
+    }
+}
+
+/// Assembles a [`Deployment`] (used by [`DefenseFactory`] implementations).
+#[derive(Debug)]
+pub struct DeploymentBuilder<'a> {
+    net: &'a Network,
+    name: &'static str,
+    hosts: Vec<Option<Box<dyn HostShim>>>,
+    routers: Vec<Option<Box<dyn RouterAgent>>>,
+    queues: Option<Box<dyn QueueFactory>>,
+    deployed_ases: usize,
+    total_ases: usize,
+}
+
+impl<'a> DeploymentBuilder<'a> {
+    /// Install a shim on the host with address `host`.
+    pub fn host_shim(&mut self, host: HostAddr, shim: Box<dyn HostShim>) -> &mut Self {
+        let node = self.net.host_node(host);
+        self.hosts[node.0] = Some(shim);
+        self
+    }
+
+    /// Install an agent on the router at `node`.
+    pub fn router_agent(&mut self, node: NodeId, agent: Box<dyn RouterAgent>) -> &mut Self {
+        self.routers[node.0] = Some(agent);
+        self
+    }
+
+    /// Set the queue factory.
+    pub fn queues(&mut self, factory: Box<dyn QueueFactory>) -> &mut Self {
+        self.queues = Some(factory);
+        self
+    }
+
+    /// Record the deployment extent for the report.
+    pub fn ases(&mut self, deployed: usize, total: usize) -> &mut Self {
+        self.deployed_ases = deployed;
+        self.total_ases = total;
+        self
+    }
+
+    /// Finish the deployment.
+    pub fn build(&mut self) -> Deployment {
+        Deployment {
+            name: self.name,
+            hosts: std::mem::take(&mut self.hosts),
+            routers: std::mem::take(&mut self.routers),
+            queues: self.queues.take().unwrap_or_else(|| Box::new(DefaultQueues)),
+            bus: ControlPlane::for_network(self.net),
+            deployed_ases: self.deployed_ases,
+            total_ases: self.total_ases,
+        }
+    }
+}
+
+/// Builds a defense's agents for a concrete network and deployment extent.
+///
+/// Implemented by `netfence-systems` for NetFence, TVA+, StopIt and
+/// per-sender fair queuing; [`NoDefense`] is the undefended baseline.
+pub trait DefenseFactory: std::fmt::Debug {
+    /// Short name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Deploy onto `net` according to `spec`.
+    fn deploy(&self, net: &Network, spec: &DeploymentSpec) -> Deployment;
+}
+
+/// The undefended baseline: no agents anywhere, default queues.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoDefense;
+
+impl DefenseFactory for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn deploy(&self, net: &Network, _spec: &DeploymentSpec) -> Deployment {
+        Deployment::undefended(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MILLI;
+    use crate::topology::QueueKind;
+
+    /// Three edge ASes (1, 2, 3) behind a transit AS (100).
+    fn net() -> Network {
+        let mut b = Network::builder();
+        let rt = b.router(100, false);
+        for asn in 1..=3u32 {
+            let ra = b.router(asn, true);
+            b.duplex(ra, rt, 10_000_000, MILLI, QueueKind::Red);
+            b.host(asn * 0x100 + 1, asn, ra, 100_000_000, MILLI);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn coverage_resolution_is_monotone_and_bounded() {
+        let net = net();
+        assert_eq!(DeploymentSpec::none().deploying_ases(&net), Vec::<AsNum>::new());
+        assert_eq!(DeploymentSpec::full().deploying_ases(&net), vec![1, 2, 3, 100]);
+        // One third of three edge ASes: the first one plus the transit AS.
+        assert_eq!(DeploymentSpec::coverage(1.0 / 3.0).deploying_ases(&net), vec![1, 100]);
+        // Monotone: growing coverage never removes a deploying AS.
+        let mut prev: Vec<AsNum> = Vec::new();
+        for k in 0..=10 {
+            let cur = DeploymentSpec::coverage(k as f64 / 10.0).deploying_ases(&net);
+            assert!(prev.iter().all(|a| cur.contains(a)), "coverage {k}/10 removed an AS");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn seeded_placement_is_deterministic_and_sized() {
+        let net = net();
+        let a = DeploymentSpec::seeded(2.0 / 3.0, 42).deploying_ases(&net);
+        let b = DeploymentSpec::seeded(2.0 / 3.0, 42).deploying_ases(&net);
+        assert_eq!(a, b);
+        // Two of three edge ASes plus the transit AS.
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(&100));
+    }
+
+    #[test]
+    fn explicit_placement_filters_unknown_ases() {
+        let net = net();
+        let d = DeploymentSpec::explicit(vec![2, 100, 999]).deploying_ases(&net);
+        assert_eq!(d, vec![2, 100]);
+        let map = DeploymentSpec::explicit(vec![2, 100]).resolve(&net);
+        assert!(map.as_deployed(2));
+        assert!(!map.as_deployed(1));
+        assert_eq!(map.total_ases, 4);
+    }
+
+    #[test]
+    fn control_plane_addresses_hosts_and_access_routers() {
+        let net = net();
+        let mut bus = ControlPlane::for_network(&net);
+        assert!(bus.to_host(0x101, 7u32));
+        assert!(!bus.to_host(0xdead, 7u32));
+        assert!(bus.to_access_router_of(0x201, "filter"));
+        let msgs = bus.take_outbox();
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(msgs[0].to, Endpoint::Host(_)));
+        assert!(matches!(msgs[1].to, Endpoint::Router(_)));
+        assert_eq!(bus.pending(), 0);
+    }
+
+    #[test]
+    fn undefended_deployment_reports_empty() {
+        let net = net();
+        let d = Deployment::undefended(&net);
+        let r = d.report();
+        assert_eq!(r.name, "none");
+        assert_eq!(r.host_shims, 0);
+        assert_eq!(r.router_agents, 0);
+        assert_eq!(r.total_defense_drops(), 0);
+        assert_eq!(r.deployed_fraction(), 0.0);
+    }
+}

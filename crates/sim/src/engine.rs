@@ -1,24 +1,36 @@
 //! The discrete-event simulation engine.
 //!
 //! The engine owns the network, the per-link queues, the transport flows and
-//! the defense system, and drives them from a single event heap. Packets
-//! move through the same stations a real forwarding path has:
+//! the deployed defense agents, and drives them from a single event heap.
+//! Packets move through the same stations a real forwarding path has:
 //!
-//! 1. a flow injects a packet at its source host; the defense's sender shim
-//!    may attach headers ([`DefenseSystem::on_host_send`]);
-//! 2. at every router the defense decides to forward, delay (rate-limit) or
-//!    drop the packet ([`DefenseSystem::at_router`]);
+//! 1. a flow injects a packet at its source host; the host's deployed shim
+//!    (if any) may attach headers ([`HostShim::on_send`]);
+//! 2. at every router the local agent (if any) decides to forward, delay
+//!    (rate-limit) or drop the packet ([`RouterAgent::at_router`]); legacy
+//!    routers forward blindly;
+//!
+//! [`HostShim::on_send`]: crate::deploy::HostShim::on_send
+//! [`RouterAgent::at_router`]: crate::deploy::RouterAgent::at_router
+//! [`ControlPlane`]: crate::deploy::ControlPlane
 //! 3. the packet waits in the outgoing link's queue discipline, is
 //!    serialized at link speed, propagates, and arrives at the next node;
-//!    the defense observes dequeues and drops (congestion feedback
-//!    stamping, attack detection);
-//! 4. at the destination host the defense's receiver shim sees it first,
-//!    then the owning flow (which may answer with ACKs, echoes, …).
+//!    the link's owning router agent observes dequeues and drops
+//!    (congestion feedback stamping, attack detection);
+//! 4. at the destination host the receiver shim sees it first, then the
+//!    owning flow (which may answer with ACKs, echoes, …).
+//!
+//! Agents are indexed by dense node id and links by dense index — the
+//! per-packet fast path never hashes to find a defense agent. Out-of-band
+//! coordination (key exchange, filter requests) travels on the deployment's
+//! [`ControlPlane`] bus, drained after every event.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::defense::{DefenseSystem, RouterAction};
+use crate::deploy::{
+    DefenseFactory, DefenseReport, Deployment, DeploymentSpec, Endpoint, LinkRef, RouterAction,
+};
 use crate::flow::{Flow, FlowActions, FlowProgress};
 use crate::metrics::Metrics;
 use crate::packet::{FlowId, Packet};
@@ -31,8 +43,13 @@ use crate::topology::{Network, NodeId, QueueKind};
 pub struct SimConfig {
     /// Simulated duration.
     pub end_time: Nanos,
-    /// Interval between [`DefenseSystem::tick`] calls.
+    /// Interval between agent `tick` calls.
     pub defense_tick: Nanos,
+    /// How long an idle link waits before re-asking a queue that withheld
+    /// its packets (strictly capped request channels). Smaller values cost
+    /// more events but release capped traffic sooner; tiny-scale tests can
+    /// shrink it to tighten timing.
+    pub link_poll_interval: Nanos,
     /// Seed recorded for reproducibility (the engine itself is
     /// deterministic; flows draw their randomness from their own seeded
     /// generators).
@@ -41,7 +58,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { end_time: 10 * SEC, defense_tick: 100 * MILLI, seed: 1 }
+        SimConfig {
+            end_time: 10 * SEC,
+            defense_tick: 100 * MILLI,
+            link_poll_interval: 2 * MILLI,
+            seed: 1,
+        }
     }
 }
 
@@ -67,6 +89,9 @@ enum EventKind {
         link: usize,
     },
     ReleaseDelayed {
+        /// The router whose agent delayed the packet (it is notified on
+        /// release so its rate limiter can account for the departure).
+        node: NodeId,
         out_link: usize,
         pkt: Packet,
     },
@@ -106,21 +131,19 @@ struct LinkState {
     poll_pending: bool,
 }
 
-/// How long an idle link waits before re-asking a queue that withheld its
-/// packets (strictly capped channels).
-const LINK_POLL_INTERVAL: Nanos = 2 * MILLI;
-
 /// The simulator.
 pub struct Simulator {
     /// Engine configuration.
     pub cfg: SimConfig,
     /// The static network.
     pub net: Network,
-    /// The defense system under test.
-    pub defense: Box<dyn DefenseSystem>,
+    /// The deployed defense under test.
+    pub deployment: Deployment,
     /// Collected counters.
     pub metrics: Metrics,
     links: Vec<LinkState>,
+    /// Owning (sending-side) node of each link, for dense agent dispatch.
+    link_owner: Vec<NodeId>,
     flows: Vec<Box<dyn Flow>>,
     events: BinaryHeap<Scheduled>,
     seq: u64,
@@ -134,44 +157,80 @@ impl std::fmt::Debug for Simulator {
             .field("now", &self.now)
             .field("flows", &self.flows.len())
             .field("links", &self.links.len())
-            .field("defense", &self.defense.name())
+            .field("defense", &self.deployment.name)
             .finish()
     }
 }
 
 impl Simulator {
-    /// Create a simulator for `net` defended by `defense`.
-    pub fn new(net: Network, mut defense: Box<dyn DefenseSystem>, cfg: SimConfig) -> Self {
-        defense.install(&net);
+    /// Create a simulator for `net` with the defense `deployment` installed.
+    /// Control-plane messages queued at deploy time (key announcements,
+    /// pre-installed filters) are delivered before the first event.
+    pub fn new(net: Network, mut deployment: Deployment, cfg: SimConfig) -> Self {
+        assert_eq!(
+            deployment.hosts.len(),
+            net.nodes.len(),
+            "deployment was built for a different network"
+        );
         let mut links = Vec::with_capacity(net.links.len());
+        let mut link_owner = Vec::with_capacity(net.links.len());
         for (i, spec) in net.links.iter().enumerate() {
-            let queue = defense.make_queue(i, spec).unwrap_or_else(|| match spec.queue {
+            let queue = deployment.queues.make_queue(i, spec).unwrap_or_else(|| match spec.queue {
                 QueueKind::DropTail => {
                     Box::new(DropTail::new(((spec.capacity / 8) / 5).max(15_000) as usize))
+                        as Box<dyn QueueDisc>
                 }
                 QueueKind::Red => {
                     Box::new(RedQueue::for_capacity(spec.capacity, cfg.seed ^ i as u64))
                 }
             });
             links.push(LinkState { queue, busy: false, in_flight: None, poll_pending: false });
+            link_owner.push(spec.from);
         }
-        Simulator {
+        let mut sim = Simulator {
             cfg,
             net,
-            defense,
+            deployment,
             metrics: Metrics::default(),
             links,
+            link_owner,
             flows: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
             now: 0,
             next_pkt_id: 0,
-        }
+        };
+        // Deliver deploy-time coordination (e.g. the Passport key exchange
+        // announcements) before anything moves.
+        sim.drain_control();
+        sim
+    }
+
+    /// A simulator with no defense deployed anywhere.
+    pub fn undefended(net: Network, cfg: SimConfig) -> Self {
+        let deployment = Deployment::undefended(&net);
+        Simulator::new(net, deployment, cfg)
+    }
+
+    /// Deploy `factory` onto `net` per `spec` and build the simulator.
+    pub fn deploy(
+        net: Network,
+        factory: &dyn DefenseFactory,
+        spec: &DeploymentSpec,
+        cfg: SimConfig,
+    ) -> Self {
+        let deployment = factory.deploy(&net, spec);
+        Simulator::new(net, deployment, cfg)
     }
 
     /// Current simulated time.
     pub fn now(&self) -> Nanos {
         self.now
+    }
+
+    /// The merged typed report of the deployed defense.
+    pub fn report(&self) -> DefenseReport {
+        self.deployment.report()
     }
 
     /// Register a flow and schedule its start. The closure receives the
@@ -215,9 +274,50 @@ impl Simulator {
             }
             self.now = ev.at;
             self.handle(ev.kind);
+            self.drain_control();
         }
         self.now = self.cfg.end_time;
         self.metrics.end_time = self.cfg.end_time;
+    }
+
+    /// Deliver queued control-plane messages until the bus is quiet.
+    /// Delivery happens at the current simulated time: control traffic is
+    /// modelled as reliable and prompt relative to data-plane dynamics. A
+    /// generous round bound turns an agent pair ping-ponging messages at a
+    /// frozen timestamp into a diagnosable panic instead of a silent hang.
+    fn drain_control(&mut self) {
+        const MAX_ROUNDS: usize = 10_000;
+        for round in 0.. {
+            assert!(
+                round < MAX_ROUNDS,
+                "control-plane messages still flowing after {MAX_ROUNDS} delivery rounds at \
+                 t={} — agents are ping-ponging messages without advancing time",
+                self.now
+            );
+            let msgs = self.deployment.bus.take_outbox();
+            if msgs.is_empty() {
+                return;
+            }
+            for msg in msgs {
+                let Deployment { hosts, routers, bus, .. } = &mut self.deployment;
+                match msg.to {
+                    Endpoint::Host(node) => match hosts[node.0].as_mut() {
+                        Some(shim) => {
+                            bus.delivered += 1;
+                            shim.on_control(self.now, msg.payload, bus);
+                        }
+                        None => bus.undeliverable += 1,
+                    },
+                    Endpoint::Router(node) => match routers[node.0].as_mut() {
+                        Some(agent) => {
+                            bus.delivered += 1;
+                            agent.on_control(self.now, msg.payload, bus);
+                        }
+                        None => bus.undeliverable += 1,
+                    },
+                }
+            }
+        }
     }
 
     fn handle(&mut self, kind: EventKind) {
@@ -231,7 +331,13 @@ impl Simulator {
                 self.apply_actions(flow, actions);
             }
             EventKind::DefenseTick => {
-                self.defense.tick(self.now);
+                let Deployment { hosts, routers, bus, .. } = &mut self.deployment;
+                for agent in routers.iter_mut().flatten() {
+                    agent.tick(self.now, bus);
+                }
+                for shim in hosts.iter_mut().flatten() {
+                    shim.tick(self.now, bus);
+                }
                 if self.now + self.cfg.defense_tick <= self.cfg.end_time {
                     self.schedule(self.now + self.cfg.defense_tick, EventKind::DefenseTick);
                 }
@@ -244,8 +350,11 @@ impl Simulator {
                     self.try_transmit(link);
                 }
             }
-            EventKind::ReleaseDelayed { out_link, mut pkt } => {
-                self.defense.on_delayed_release(self.now, &mut pkt);
+            EventKind::ReleaseDelayed { node, out_link, mut pkt } => {
+                let Deployment { routers, bus, .. } = &mut self.deployment;
+                if let Some(agent) = routers[node.0].as_mut() {
+                    agent.on_delayed_release(self.now, &mut pkt, bus);
+                }
                 self.enqueue_on_link(out_link, pkt);
             }
         }
@@ -262,8 +371,11 @@ impl Simulator {
             pkt.flow = flow;
             pkt.src_as = self.net.as_of_host(pkt.src);
             self.metrics.injected_pkts += 1;
-            self.defense.on_host_send(self.now, &mut pkt);
             let node = self.net.host_node(pkt.src);
+            let Deployment { hosts, bus, .. } = &mut self.deployment;
+            if let Some(shim) = hosts[node.0].as_mut() {
+                shim.on_send(self.now, &mut pkt, bus);
+            }
             self.forward_from(node, pkt);
         }
     }
@@ -276,7 +388,10 @@ impl Simulator {
                 self.metrics.defense_drop_pkts += 1;
                 return;
             }
-            self.defense.on_host_receive(self.now, &pkt);
+            let Deployment { hosts, bus, .. } = &mut self.deployment;
+            if let Some(shim) = hosts[node.0].as_mut() {
+                shim.on_receive(self.now, &pkt, bus);
+            }
             self.metrics.delivered_pkts += 1;
             let flow = pkt.flow;
             if flow < self.flows.len() {
@@ -299,12 +414,20 @@ impl Simulator {
             self.enqueue_on_link(out_link, pkt);
             return;
         }
-        let is_access = self.net.access_router_of(pkt.src) == Some(node);
-        let link_addr = self.net.links[out_link].addr;
-        match self.defense.at_router(self.now, node, is_access, link_addr, &mut pkt) {
+        let link = LinkRef { index: out_link, addr: self.net.links[out_link].addr };
+        let Deployment { routers, bus, .. } = &mut self.deployment;
+        let action = match routers[node.0].as_mut() {
+            Some(agent) => {
+                let is_access = self.net.access_router_of(pkt.src) == Some(node);
+                agent.at_router(self.now, is_access, link, &mut pkt, bus)
+            }
+            // A legacy router forwards blindly.
+            None => RouterAction::Forward,
+        };
+        match action {
             RouterAction::Forward => self.enqueue_on_link(out_link, pkt),
             RouterAction::Delay { release_at } => {
-                self.schedule(release_at, EventKind::ReleaseDelayed { out_link, pkt });
+                self.schedule(release_at, EventKind::ReleaseDelayed { node, out_link, pkt });
             }
             RouterAction::Drop => {
                 self.metrics.defense_drop_pkts += 1;
@@ -317,9 +440,13 @@ impl Simulator {
         let dropped = self.links[link_idx].queue.enqueue(now, pkt);
         if !dropped.is_empty() {
             let addr = self.net.links[link_idx].addr;
+            let owner = self.link_owner[link_idx];
+            let link = LinkRef { index: link_idx, addr };
             for d in dropped {
                 *self.metrics.link_drop_pkts.entry(addr).or_insert(0) += 1;
-                self.defense.on_link_drop(now, addr, &d);
+                if let Some(agent) = self.deployment.routers[owner.0].as_mut() {
+                    agent.on_link_drop(now, link, &d);
+                }
             }
         }
         if !self.links[link_idx].busy {
@@ -336,7 +463,8 @@ impl Simulator {
             None => {
                 if self.links[link_idx].queue.len_pkts() > 0 && !self.links[link_idx].poll_pending {
                     self.links[link_idx].poll_pending = true;
-                    self.schedule(now + LINK_POLL_INTERVAL, EventKind::LinkPoll { link: link_idx });
+                    let poll = self.cfg.link_poll_interval.max(1);
+                    self.schedule(now + poll, EventKind::LinkPoll { link: link_idx });
                 }
             }
         }
@@ -344,7 +472,10 @@ impl Simulator {
 
     fn start_transmission(&mut self, link_idx: usize, mut pkt: Packet) {
         let spec = self.net.links[link_idx];
-        self.defense.on_link_dequeue(self.now, spec.addr, &mut pkt);
+        let owner = self.link_owner[link_idx];
+        if let Some(agent) = self.deployment.routers[owner.0].as_mut() {
+            agent.on_link_dequeue(self.now, LinkRef { index: link_idx, addr: spec.addr }, &mut pkt);
+        }
         *self.metrics.link_tx_bytes.entry(spec.addr).or_insert(0) += pkt.size as u64;
         *self.metrics.link_tx_pkts.entry(spec.addr).or_insert(0) += 1;
         let ser = transmission_time(pkt.size, spec.capacity);
@@ -366,7 +497,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::defense::NoDefense;
+    use crate::deploy::{ControlPlane, Deployment, HostShim, RouterAgent};
     use crate::rng::SimRng;
     use crate::tcp::{TcpConfig, TcpFlow, TcpWorkload};
     use crate::topology::QueueKind;
@@ -391,11 +522,8 @@ mod tests {
     #[test]
     fn tcp_file_transfer_end_to_end() {
         let (net, _addr) = dumbbell(10_000_000);
-        let mut sim = Simulator::new(
-            net,
-            Box::new(NoDefense),
-            SimConfig { end_time: 20 * SEC, ..Default::default() },
-        );
+        let mut sim =
+            Simulator::undefended(net, SimConfig { end_time: 20 * SEC, ..Default::default() });
         let flow = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -418,11 +546,8 @@ mod tests {
     #[test]
     fn udp_overload_is_limited_by_bottleneck() {
         let (net, bottleneck) = dumbbell(1_000_000);
-        let mut sim = Simulator::new(
-            net,
-            Box::new(NoDefense),
-            SimConfig { end_time: 10 * SEC, ..Default::default() },
-        );
+        let mut sim =
+            Simulator::undefended(net, SimConfig { end_time: 10 * SEC, ..Default::default() });
         let flow = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 5_000_000)));
         sim.run();
         let p = sim.progress(flow);
@@ -448,11 +573,8 @@ mod tests {
         b.host(HOST_B, 2, r2, 100_000_000, MILLI);
         let net = b.build();
 
-        let mut sim = Simulator::new(
-            net,
-            Box::new(NoDefense),
-            SimConfig { end_time: 30 * SEC, ..Default::default() },
-        );
+        let mut sim =
+            Simulator::undefended(net, SimConfig { end_time: 30 * SEC, ..Default::default() });
         let f1 = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -486,11 +608,8 @@ mod tests {
     fn runs_are_deterministic() {
         let run = || {
             let (net, bottleneck) = dumbbell(1_000_000);
-            let mut sim = Simulator::new(
-                net,
-                Box::new(NoDefense),
-                SimConfig { end_time: 5 * SEC, ..Default::default() },
-            );
+            let mut sim =
+                Simulator::undefended(net, SimConfig { end_time: 5 * SEC, ..Default::default() });
             sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 3_000_000)));
             sim.add_flow(0, |id| {
                 Box::new(TcpFlow::new(
@@ -513,24 +632,18 @@ mod tests {
     }
 
     #[test]
-    fn defense_drop_action_is_honored() {
-        /// A defense that drops every UDP packet at routers.
+    fn router_agent_drop_action_is_honored() {
+        /// An agent that drops every UDP packet at its router.
         #[derive(Debug)]
         struct DropUdp;
-        impl DefenseSystem for DropUdp {
-            fn name(&self) -> &'static str {
-                "drop-udp"
-            }
-            fn as_any(&self) -> &dyn std::any::Any {
-                self
-            }
+        impl RouterAgent for DropUdp {
             fn at_router(
                 &mut self,
                 _now: Nanos,
-                _node: NodeId,
                 _is_access: bool,
-                _out_link: u32,
+                _out_link: LinkRef,
                 pkt: &mut Packet,
+                _ctl: &mut ControlPlane,
             ) -> RouterAction {
                 if pkt.protocol == crate::packet::Protocol::Udp {
                     RouterAction::Drop
@@ -540,14 +653,75 @@ mod tests {
             }
         }
         let (net, _) = dumbbell(1_000_000);
-        let mut sim = Simulator::new(
-            net,
-            Box::new(DropUdp),
-            SimConfig { end_time: 5 * SEC, ..Default::default() },
-        );
+        let mut b = Deployment::builder(&net, "drop-udp");
+        for (i, node) in net.nodes.iter().enumerate() {
+            if node.host_addr().is_none() {
+                b.router_agent(NodeId(i), Box::new(DropUdp));
+            }
+        }
+        let deployment = b.build();
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 5 * SEC, ..Default::default() });
         let flow = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 1_000_000)));
         sim.run();
         assert_eq!(sim.progress(flow).delivered_bytes, 0);
         assert!(sim.metrics.defense_drop_pkts > 100);
+        assert_eq!(sim.report().router_agents, 2);
+    }
+
+    #[test]
+    fn control_messages_reach_agents_and_legacy_nodes_bounce() {
+        /// A host shim that asks its access router to count packets.
+        #[derive(Debug)]
+        struct Pinger;
+        impl HostShim for Pinger {
+            fn on_send(&mut self, _now: Nanos, pkt: &mut Packet, ctl: &mut ControlPlane) {
+                ctl.to_access_router_of(pkt.src, "ping");
+                // And one message to a legacy host that has no shim.
+                ctl.to_host(HOST_B, "void");
+            }
+        }
+        #[derive(Debug, Default)]
+        struct Counter {
+            pings: u64,
+        }
+        impl RouterAgent for Counter {
+            fn on_control(
+                &mut self,
+                _now: Nanos,
+                msg: Box<dyn std::any::Any>,
+                _ctl: &mut ControlPlane,
+            ) {
+                if msg.downcast_ref::<&str>() == Some(&"ping") {
+                    self.pings += 1;
+                }
+            }
+            fn report(&self, out: &mut DefenseReport) {
+                out.filters += self.pings as usize;
+            }
+        }
+        let (net, _) = dumbbell(1_000_000);
+        let r1 = net.access_router_of(HOST_A).unwrap();
+        let mut b = Deployment::builder(&net, "ping");
+        b.host_shim(HOST_A, Box::new(Pinger));
+        b.router_agent(r1, Box::new(Counter::default()));
+        let deployment = b.build();
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: SEC, ..Default::default() });
+        sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 500_000)));
+        sim.run();
+        let report = sim.report();
+        assert!(report.filters > 10, "pings: {}", report.filters);
+        assert_eq!(report.control_delivered, report.filters as u64);
+        // The messages to the shim-less HOST_B were dropped and counted.
+        assert_eq!(report.control_undeliverable, report.control_delivered);
+    }
+
+    #[test]
+    fn link_poll_interval_is_configurable() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.link_poll_interval, 2 * MILLI);
+        let tight = SimConfig { link_poll_interval: 100, ..Default::default() };
+        assert_eq!(tight.link_poll_interval, 100);
     }
 }

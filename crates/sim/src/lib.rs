@@ -13,17 +13,20 @@
 //! * the web-like workload generator the paper uses ([`webtraffic`]);
 //! * topology builders ([`topology`]) and measurement helpers
 //!   ([`metrics`]);
-//! * the [`defense::DefenseSystem`] hook trait through which DoS defense
+//! * the per-node deployment API ([`deploy`]) through which DoS defense
 //!   systems (NetFence, TVA+, StopIt, fair queuing — implemented in
-//!   `netfence-systems`) participate in packet forwarding.
+//!   `netfence-systems`) install host shims and router agents on the
+//!   deploying subset of the network, coordinate over a control-plane bus
+//!   and report typed post-run counters.
 //!
 //! The simulator knows nothing about any specific defense: shim headers ride
-//! along as type-erased [`packet::Extension`]s.
+//! along as type-erased [`packet::Extension`]s, and nodes whose AS does not
+//! deploy are legacy nodes with no agents at all.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod defense;
+pub mod deploy;
 pub mod engine;
 pub mod flow;
 pub mod metrics;
@@ -38,7 +41,11 @@ pub mod webtraffic;
 
 /// Commonly used re-exports.
 pub mod prelude {
-    pub use crate::defense::{DefenseSystem, NoDefense, RouterAction};
+    pub use crate::deploy::{
+        ControlPlane, DefenseFactory, DefenseReport, DeployMap, Deployment, DeploymentBuilder,
+        DeploymentSpec, Endpoint, HostShim, LinkRef, NoDefense, Placement, QueueFactory,
+        RouterAction, RouterAgent,
+    };
     pub use crate::engine::{SimConfig, Simulator};
     pub use crate::flow::{Flow, FlowActions, FlowProgress};
     pub use crate::metrics::{fairness_index, mean_ratio, Metrics};

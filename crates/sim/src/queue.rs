@@ -6,7 +6,7 @@
 //! * [`RedQueue`] — Random Early Detection with the parameters from
 //!   Figure 3 of the paper (`min_thresh = 0.5·Q_lim`,
 //!   `max_thresh = 0.75·Q_lim`, `w_q = 0.1`);
-//! * [`DrrQueue`] — Deficit Round Robin fair queuing [38] with a pluggable
+//! * [`DrrQueue`] — Deficit Round Robin fair queuing \[38\] with a pluggable
 //!   [`Classifier`] (per-sender, per-destination, per-AS);
 //! * [`HierDrrQueue`] — two-level hierarchical DRR (per source AS, then per
 //!   source host) as used by TVA+ and StopIt for their request/fallback

@@ -1,7 +1,7 @@
 //! Web-like workload generation (§6.3.2 of the paper).
 //!
 //! The paper draws web-transfer sizes "from a mixture of Pareto and
-//! exponential distributions as in [28]", caps the maximum file size at
+//! exponential distributions as in \[28\]", caps the maximum file size at
 //! 150 KB, and makes the interval between two transfers uniformly
 //! distributed between 0.1 and 0.2 seconds. This module reproduces that
 //! generator.

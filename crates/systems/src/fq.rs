@@ -5,12 +5,16 @@
 //! bounds an attacker to `C/N`, but — as Figure 8 shows — it makes every
 //! legitimate packet compete with the full set of attackers at every hop,
 //! so small file transfers slow down linearly with the number of senders.
+//!
+//! FQ is a pure queue-discipline defense: its deployment installs no host
+//! shims and no router agents, only a [`QueueFactory`] that replaces the
+//! scheduler of every link owned by a deploying AS.
 
-use netfence_sim::defense::DefenseSystem;
+use netfence_sim::deploy::{DefenseFactory, Deployment, DeploymentSpec, QueueFactory};
 use netfence_sim::queue::{Classifier, DrrQueue, QueueDisc};
 use netfence_sim::topology::{LinkSpec, Network};
 
-/// Per-sender DRR fair queuing at every link.
+/// The per-sender DRR fair-queuing factory.
 #[derive(Debug, Default)]
 pub struct FairQueuingDefense {
     /// Byte limit of each per-sender queue.
@@ -29,19 +33,41 @@ impl FairQueuingDefense {
     }
 }
 
-impl DefenseSystem for FairQueuingDefense {
+impl DefenseFactory for FairQueuingDefense {
     fn name(&self) -> &'static str {
         "fq"
     }
 
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
+    fn deploy(&self, net: &Network, spec: &DeploymentSpec) -> Deployment {
+        let map = spec.resolve(net);
+        let links: Vec<usize> = net
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| map.node(l.from))
+            .map(|(i, _)| i)
+            .collect();
+        let mut builder = Deployment::builder(net, "fq");
+        builder.ases(map.ases.len(), map.total_ases);
+        builder.queues(Box::new(FqQueues { per_sender_limit: self.per_sender_limit, links }));
+        builder.build()
     }
+}
 
-    fn install(&mut self, _net: &Network) {}
+/// Per-sender DRR on every deployed link.
+#[derive(Debug)]
+struct FqQueues {
+    per_sender_limit: usize,
+    links: Vec<usize>,
+}
 
-    fn make_queue(&mut self, _link_index: usize, _spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
-        Some(Box::new(DrrQueue::new(Classifier::BySource, 1500, self.per_sender_limit)))
+impl QueueFactory for FqQueues {
+    fn make_queue(&mut self, link_index: usize, _spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
+        if self.links.binary_search(&link_index).is_ok() {
+            Some(Box::new(DrrQueue::new(Classifier::BySource, 1500, self.per_sender_limit)))
+        } else {
+            None
+        }
     }
 }
 
@@ -65,11 +91,9 @@ mod tests {
         b.host(VICTIM, 2, r2, 100_000_000, MILLI);
         let net = b.build();
 
-        let mut sim = Simulator::new(
-            net,
-            Box::new(FairQueuingDefense::new()),
-            SimConfig { end_time: 60 * SEC, ..Default::default() },
-        );
+        let deployment = FairQueuingDefense::new().deploy(&net, &DeploymentSpec::full());
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 60 * SEC, ..Default::default() });
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -90,5 +114,9 @@ mod tests {
         // bit less than the UDP flooder, which we tolerate here).
         assert!(attacker_bps < 650_000.0, "attacker got {attacker_bps:.0} bps");
         assert!(user_bps > 250_000.0, "user got {user_bps:.0} bps");
+        // FQ deploys no agents, only queues.
+        let report = sim.report();
+        assert_eq!(report.host_shims, 0);
+        assert_eq!(report.router_agents, 0);
     }
 }

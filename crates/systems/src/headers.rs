@@ -1,9 +1,12 @@
 //! Shim headers attached to simulated packets by the defense systems.
 //!
 //! Each defense system stores its typed header inside the simulator's
-//! type-erased [`Extension`] slot. The extension also reports its wire
-//! length so packet sizes reflect the header overhead the paper accounts
-//! for (§4.6, §6.1).
+//! type-erased [`Extension`] slot and reads it back through the single
+//! typed accessor [`Packet::ext_as`](netfence_sim::packet::Packet::ext_as)
+//! / [`Packet::ext_as_mut`](netfence_sim::packet::Packet::ext_as_mut) — no
+//! call site spells out the `as_any().downcast_ref()` dance. The extension
+//! also reports its wire length so packet sizes reflect the header overhead
+//! the paper accounts for (§4.6, §6.1).
 
 use std::any::Any;
 
@@ -11,6 +14,7 @@ use netfence_core::header::NetFenceHeader;
 use netfence_core::passport::PASSPORT_HEADER_LEN;
 use netfence_core::types::LinkId;
 use netfence_sim::packet::Extension;
+use netfence_sim::time::Nanos;
 
 /// The NetFence shim header (plus the Passport header length) carried by a
 /// packet in a NetFence-defended simulation.
@@ -46,18 +50,34 @@ impl Extension for NetFenceExt {
     }
 }
 
-/// The TVA+ shim: request packets carry no capability; regular packets are
-/// either authorized (the receiver granted a capability) or not.
+/// The TVA+ shim. Since TVA returns capabilities inside reply packets, both
+/// variants can piggyback the sender's current grant for the destination
+/// (the capability for the *reverse* direction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TvaExt {
-    /// A capability request.
-    Request,
-    /// A regular packet; `authorized` is true when the sender holds a
-    /// capability for the destination.
-    Regular {
-        /// Whether a valid capability is attached.
-        authorized: bool,
+    /// A capability request (the sender holds no valid capability).
+    Request {
+        /// The sender's grant for the destination, piggybacked so the
+        /// destination learns the reverse-direction capability.
+        grant: Option<Nanos>,
     },
+    /// A regular packet carrying the sender's capability.
+    Regular {
+        /// Expiry of the capability authorizing this packet; routers verify
+        /// it is still in the future.
+        cap_expiry: Nanos,
+        /// Piggybacked reverse-direction grant, as in `Request`.
+        grant: Option<Nanos>,
+    },
+}
+
+impl TvaExt {
+    /// The piggybacked reverse-direction grant, if any.
+    pub fn grant(&self) -> Option<Nanos> {
+        match self {
+            TvaExt::Request { grant } | TvaExt::Regular { grant, .. } => *grant,
+        }
+    }
 }
 
 impl Extension for TvaExt {
@@ -74,7 +94,7 @@ impl Extension for TvaExt {
         // TVA's capability header is in the same ballpark as NetFence's
         // (the paper's Figure 7 compares against TVA+ with similar sizes).
         match self {
-            TvaExt::Request => 12,
+            TvaExt::Request { .. } => 12,
             TvaExt::Regular { .. } => 20,
         }
     }
@@ -100,8 +120,10 @@ mod tests {
     }
 
     #[test]
-    fn tva_ext_sizes() {
-        assert_eq!(TvaExt::Request.wire_len(), 12);
-        assert_eq!(TvaExt::Regular { authorized: true }.wire_len(), 20);
+    fn tva_ext_sizes_and_grant_accessor() {
+        assert_eq!(TvaExt::Request { grant: None }.wire_len(), 12);
+        assert_eq!(TvaExt::Regular { cap_expiry: 5, grant: Some(9) }.wire_len(), 20);
+        assert_eq!(TvaExt::Request { grant: Some(3) }.grant(), Some(3));
+        assert_eq!(TvaExt::Regular { cap_expiry: 5, grant: None }.grant(), None);
     }
 }

@@ -13,9 +13,12 @@
 //!   harnesses (strategic request priorities, collusion, on-off floods);
 //! * [`headers`] — the shim headers attached to simulated packets.
 //!
-//! All four systems implement `netfence_sim::defense::DefenseSystem`, so an
-//! experiment can swap the defense while keeping the topology and workload
-//! fixed — exactly how the paper's comparison figures are produced.
+//! All four systems implement `netfence_sim::deploy::DefenseFactory`: they
+//! are *deployed onto* a network, installing per-node host shims and router
+//! agents only on the ASes a `DeploymentSpec` covers. An experiment can
+//! swap the defense (and its deployment extent) while keeping the topology
+//! and workload fixed — exactly how the paper's comparison figures and the
+//! incremental-deployment sweeps are produced.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +33,6 @@ pub mod tva;
 pub use attacker::{legitimate_priority_after, strategic_request_priority, AttackStrategy};
 pub use fq::FairQueuingDefense;
 pub use headers::{NetFenceExt, TvaExt};
-pub use netfence::{NetFenceDefense, NetFenceStats};
-pub use stopit::StopItDefense;
+pub use netfence::{KeyAnnouncement, NetFenceDefense};
+pub use stopit::{FilterRequest, StopItDefense};
 pub use tva::TvaDefense;

@@ -1,21 +1,32 @@
-//! The NetFence defense system bound to the simulator.
+//! The NetFence defense system deployed onto the simulator.
 //!
-//! This adapter owns one [`AccessRouter`] per access-router node, one
-//! [`BottleneckLink`] per inter-router link, and the sender/receiver shims
-//! of every host, and wires them into the simulator's forwarding path via
-//! the [`DefenseSystem`] hooks:
+//! [`NetFenceDefense`] is a [`DefenseFactory`]: given a network and a
+//! [`DeploymentSpec`], it installs one [`HostShim`] per host of every
+//! deploying AS (the sender/receiver shim layer of §3.1) and one
+//! [`RouterAgent`] per router of every deploying AS, holding that router's
+//! [`AccessRouter`] protocol state and one [`BottleneckLink`] per outgoing
+//! inter-router link:
 //!
-//! * `on_host_send` — the sender shim builds the NetFence header (request or
+//! * `on_send` — the sender shim builds the NetFence header (request or
 //!   regular, presenting held feedback, echoing feedback for the reverse
 //!   direction);
 //! * `at_router` (access router) — validation, request policing, per-(sender,
 //!   bottleneck) rate limiting, feedback re-stamping (Figure 18);
 //! * `on_link_dequeue` / `on_link_drop` (bottleneck links) — attack
 //!   detection input and `L↓` stamping (§4.3.1–4.3.2);
-//! * `on_host_receive` — the receiver shim records presented feedback and
-//!   the sender shim learns echoed feedback;
+//! * `on_receive` — the receiver shim records presented feedback and the
+//!   sender shim learns echoed feedback;
 //! * `tick` — control-interval AIMD adjustment and monitoring-cycle
 //!   bookkeeping.
+//!
+//! The Passport-style pairwise AS keys are established over the
+//! deployment's [`ControlPlane`] bus: at deploy time every deploying AS
+//! posts a [`KeyAnnouncement`] (its Diffie–Hellman public value) to every
+//! deployed router agent, which derives and installs the shared key — the
+//! BGP-piggybacked exchange of §4.4, in message form. Nodes of
+//! non-deploying ASes get no agents at all; their traffic carries no
+//! NetFence header and is demoted to the legacy channel at deployed
+//! routers, which is the paper's adoption incentive (§5.3).
 
 use std::collections::HashMap;
 
@@ -25,77 +36,61 @@ use netfence_core::bottleneck::{BottleneckLink, Channel};
 use netfence_core::config::Config;
 use netfence_core::endpoint::{ReceiverPolicy, ReceiverShim, SenderShim};
 use netfence_core::types::{AsId, FlowPair, HostId, LinkId};
-use netfence_crypto::{full_mesh_exchange, AsKeyAgent, AsKeyTable};
-use netfence_sim::defense::{DefenseSystem, RouterAction};
-use netfence_sim::packet::{AsNum, ChannelClass, Extension, HostAddr, LinkAddr, Packet, Protocol};
+use netfence_crypto::AsKeyAgent;
+use netfence_sim::deploy::{
+    ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
+    QueueFactory, RouterAction, RouterAgent,
+};
+use netfence_sim::packet::{AsNum, ChannelClass, Extension, HostAddr, Packet, Protocol};
 use netfence_sim::queue::{DualChannelQueue, PriorityLevelQueue, QueueDisc, RedQueue};
 use netfence_sim::time::Nanos;
 use netfence_sim::topology::{LinkSpec, Network, NodeId};
 
 use crate::headers::NetFenceExt;
 
-/// Aggregate counters for experiments.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NetFenceStats {
-    /// Packets dropped by access-router request limiters.
-    pub request_drops: u64,
-    /// Packets dropped by per-(sender, bottleneck) rate limiters.
-    pub regular_drops: u64,
-    /// Packets dropped by the per-AS damage-localization policer.
-    pub as_policer_drops: u64,
-    /// Packets whose feedback was stamped `L↓` at a bottleneck.
-    pub stamped_decr: u64,
+/// A Passport key announcement carried on the control-plane bus: the
+/// announcing AS and its Diffie–Hellman public value. Every deployed router
+/// derives the pairwise AES key from it (§4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct KeyAnnouncement {
+    /// The announcing AS.
+    pub asn: AsNum,
+    /// Its public Diffie–Hellman value.
+    pub public_value: u64,
 }
 
-/// The NetFence defense system.
+/// The NetFence defense factory: protocol parameters plus the per-host
+/// policies (suppression, priority overrides) applied when deploying.
 #[derive(Debug)]
 pub struct NetFenceDefense {
     cfg: Config,
-    /// Per-access-router protocol state.
-    access: HashMap<NodeId, AccessRouter>,
-    /// Per-bottleneck-link protocol state (keyed by link address).
-    bottlenecks: HashMap<LinkAddr, BottleneckLink>,
-    /// Sender-side shims per host.
-    senders: HashMap<HostAddr, SenderShim>,
-    /// Receiver-side shims per host.
-    receivers: HashMap<HostAddr, ReceiverShim>,
     /// Hosts whose receivers suppress feedback by default (victims with a
     /// whitelist).
     deny_by_default: Vec<HostAddr>,
+    /// (receiver, sender) pairs the receiver classifies as unwanted.
+    suppressed: Vec<(HostAddr, HostAddr)>,
     /// Fixed request-priority override for (attacker) hosts.
     priority_override: HashMap<HostAddr, u8>,
     /// Optional per-AS damage localization at bottleneck links (§4.5).
-    as_policers: HashMap<LinkAddr, AsPolicer>,
     as_policing_mode: Option<AsPolicingMode>,
-    /// Per-AS key tables from the Passport-style exchange.
-    as_tables: HashMap<AsNum, AsKeyTable>,
-    /// Statistics.
-    pub stats: NetFenceStats,
     seed: u64,
 }
 
 impl NetFenceDefense {
-    /// Create a NetFence deployment with the given protocol parameters.
+    /// Create a NetFence factory with the given protocol parameters.
     pub fn new(cfg: Config) -> Self {
         NetFenceDefense {
             cfg,
-            access: HashMap::new(),
-            bottlenecks: HashMap::new(),
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
             deny_by_default: Vec::new(),
+            suppressed: Vec::new(),
             priority_override: HashMap::new(),
-            as_policers: HashMap::new(),
             as_policing_mode: None,
-            as_tables: HashMap::new(),
-            stats: NetFenceStats::default(),
             seed: 0x4E46_4E46,
         }
     }
 
     /// Make a receiver suppress feedback for every sender not explicitly
-    /// whitelisted (a victim with a whitelist). Must be called before the
-    /// simulator is constructed.
+    /// whitelisted (a victim with a whitelist).
     pub fn deny_all_senders(&mut self, receiver: HostAddr) {
         self.deny_by_default.push(receiver);
     }
@@ -103,10 +98,7 @@ impl NetFenceDefense {
     /// Configure a receiver to suppress feedback for a specific sender
     /// (classifying it as attack traffic, §3.3).
     pub fn suppress_sender(&mut self, receiver: HostAddr, sender: HostAddr) {
-        self.receivers
-            .entry(receiver)
-            .or_default()
-            .set_policy(HostId(sender), ReceiverPolicy::Suppress);
+        self.suppressed.push((receiver, sender));
     }
 
     /// Force a host's request packets to a fixed priority level (used to
@@ -120,69 +112,19 @@ impl NetFenceDefense {
         self.as_policing_mode = Some(mode);
     }
 
-    /// Number of rate limiters across all access routers (scalability
-    /// metric, §5.1).
-    pub fn total_rate_limiters(&self) -> usize {
-        self.access.values().map(|a| a.limiter_count()).sum()
-    }
-
-    /// Whether the given link is currently in a monitoring cycle.
-    pub fn link_in_mon(&self, link: LinkAddr) -> bool {
-        self.bottlenecks.get(&link).map(|b| b.in_mon()).unwrap_or(false)
-    }
-
-    /// The rate limit an access router currently applies to (sender, link),
-    /// if such a limiter exists.
-    pub fn rate_limit_of(&self, sender: HostAddr, link: LinkAddr) -> Option<u64> {
-        self.access.values().find_map(|a| a.rate_limit(HostId(sender), LinkId(link)))
-    }
-
-    fn ext_of(pkt: &mut Packet) -> Option<&mut NetFenceExt> {
-        pkt.ext_as_mut::<NetFenceExt>()
-    }
-
-    fn channel_of(c: Channel) -> ChannelClass {
-        match c {
-            Channel::Regular => ChannelClass::Regular,
-            Channel::Request => ChannelClass::Request,
-            Channel::Legacy => ChannelClass::Legacy,
-        }
+    /// The deterministic key agent of a deploying AS.
+    fn key_agent(&self, asn: AsNum) -> AsKeyAgent {
+        AsKeyAgent::new(asn, self.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(asn as u64 + 1)))
     }
 }
 
-impl DefenseSystem for NetFenceDefense {
+impl DefenseFactory for NetFenceDefense {
     fn name(&self) -> &'static str {
         "netfence"
     }
 
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn install(&mut self, net: &Network) {
-        // 1. Passport-style pairwise keys between all ASes.
-        let mut as_numbers: Vec<AsNum> = net.nodes.iter().map(|n| n.as_num()).collect();
-        as_numbers.sort_unstable();
-        as_numbers.dedup();
-        let agents: Vec<AsKeyAgent> = as_numbers
-            .iter()
-            .map(|&a| {
-                AsKeyAgent::new(a, self.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(a as u64 + 1)))
-            })
-            .collect();
-        let tables = full_mesh_exchange(&agents);
-        for (i, &a) in as_numbers.iter().enumerate() {
-            let mut table = tables[i].clone();
-            // Also install a self-key so a bottleneck router can stamp L↓
-            // for senders that live in its own AS (the paper's topology
-            // always crosses AS boundaries, but intra-AS bottlenecks are
-            // legitimate deployments too).
-            table.install(a, agents[i].shared_key(a, agents[i].public_value()));
-            self.as_tables.insert(a, table);
-        }
-
-        // 2. One AccessRouter per access-router node; it learns the AS of
-        //    every inter-router link so it can validate L↓ feedback.
+    fn deploy(&self, net: &Network, spec: &DeploymentSpec) -> Deployment {
+        let map = spec.resolve(net);
         let inter_router_links: Vec<(usize, &LinkSpec)> = net
             .links
             .iter()
@@ -191,46 +133,143 @@ impl DefenseSystem for NetFenceDefense {
                 net.nodes[l.from.0].host_addr().is_none() && net.nodes[l.to.0].host_addr().is_none()
             })
             .collect();
+
+        let mut builder = Deployment::builder(net, "netfence");
+        builder.ases(map.ases.len(), map.total_ases);
+
+        // The three-channel queues replace the defaults on every
+        // inter-router link whose owning (sending-side) AS deploys.
+        let bottleneck_links: Vec<usize> =
+            inter_router_links.iter().filter(|(_, l)| map.node(l.from)).map(|(i, _)| *i).collect();
+        builder.queues(Box::new(NetFenceQueues {
+            cfg: self.cfg.clone(),
+            seed: self.seed,
+            links: bottleneck_links,
+        }));
+
+        // Router agents for every router in a deploying AS.
+        let mut agent_nodes: Vec<NodeId> = Vec::new();
         for (i, node) in net.nodes.iter().enumerate() {
-            if !node.is_access_router() {
+            if node.host_addr().is_some() || !map.node(NodeId(i)) {
                 continue;
             }
             let as_num = node.as_num();
-            let mut ka_root = [0u8; 16];
-            ka_root[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
-            ka_root[8..].copy_from_slice(&self.seed.to_be_bytes());
-            let table = self.as_tables.get(&as_num).cloned().unwrap_or_default();
-            let mut access = AccessRouter::new(self.cfg.clone(), AsId(as_num), ka_root, table);
-            for (_, spec) in &inter_router_links {
-                let owner_as = net.nodes[spec.from.0].as_num();
-                access.register_link_as(LinkId(spec.addr), AsId(owner_as));
+            let access = if node.is_access_router() {
+                let mut ka_root = [0u8; 16];
+                ka_root[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
+                ka_root[8..].copy_from_slice(&self.seed.to_be_bytes());
+                let mut access =
+                    AccessRouter::new(self.cfg.clone(), AsId(as_num), ka_root, Default::default());
+                for (_, spec) in &inter_router_links {
+                    let owner_as = net.nodes[spec.from.0].as_num();
+                    access.register_link_as(LinkId(spec.addr), AsId(owner_as));
+                }
+                Some(access)
+            } else {
+                None
+            };
+            // Bottleneck state for this router's outgoing inter-router
+            // links: a sparse (link index, state) list sorted ascending —
+            // routers own only a handful of links, so allocation stays
+            // proportional to the agent, not to the whole network.
+            let mut bottlenecks: Vec<(usize, BottleneckLink)> = Vec::new();
+            let mut as_policers: Vec<(usize, AsPolicer)> = Vec::new();
+            for &(li, spec) in &inter_router_links {
+                if spec.from.0 != i {
+                    continue;
+                }
+                bottlenecks.push((
+                    li,
+                    BottleneckLink::new(
+                        LinkId(spec.addr),
+                        spec.capacity,
+                        Default::default(),
+                        self.cfg.clone(),
+                        0,
+                    ),
+                ));
+                if let Some(mode) = self.as_policing_mode {
+                    as_policers.push((li, AsPolicer::new(mode, spec.capacity, 0)));
+                }
             }
-            self.access.insert(NodeId(i), access);
-        }
-
-        // 3. One BottleneckLink per inter-router link.
-        for (_, spec) in &inter_router_links {
-            let owner_as = net.nodes[spec.from.0].as_num();
-            let table = self.as_tables.get(&owner_as).cloned().unwrap_or_default();
-            self.bottlenecks.insert(
-                spec.addr,
-                BottleneckLink::new(LinkId(spec.addr), spec.capacity, table, self.cfg.clone(), 0),
+            builder.router_agent(
+                NodeId(i),
+                Box::new(NetFenceRouterAgent {
+                    access,
+                    bottlenecks,
+                    as_policers,
+                    key_agent: self.key_agent(as_num),
+                    stats: AgentStats::default(),
+                }),
             );
-            if let Some(mode) = self.as_policing_mode {
-                self.as_policers.insert(spec.addr, AsPolicer::new(mode, spec.capacity, 0));
+            agent_nodes.push(NodeId(i));
+        }
+
+        // Host shims for every host in a deploying AS.
+        for host in net.hosts() {
+            if !map.as_deployed(net.as_of_host(host)) {
+                continue;
+            }
+            let mut receiver = if self.deny_by_default.contains(&host) {
+                ReceiverShim::deny_by_default()
+            } else {
+                ReceiverShim::default()
+            };
+            for &(r, s) in &self.suppressed {
+                if r == host {
+                    receiver.set_policy(HostId(s), ReceiverPolicy::Suppress);
+                }
+            }
+            builder.host_shim(
+                host,
+                Box::new(NetFenceHostShim {
+                    cfg: self.cfg.clone(),
+                    sender: SenderShim::default(),
+                    receiver,
+                    priority_override: self.priority_override.get(&host).copied(),
+                }),
+            );
+        }
+
+        let mut deployment = builder.build();
+        // Passport key exchange over the control plane: every deploying AS
+        // announces its public value to every deployed router (one round,
+        // as a full-mesh BGP propagation would). Each agent derives and
+        // installs the pairwise keys in `on_control`.
+        for &asn in &map.ases {
+            let agent = self.key_agent(asn);
+            let ann = KeyAnnouncement { asn, public_value: agent.public_value() };
+            for &node in &agent_nodes {
+                deployment.bus.to_router(node, ann);
             }
         }
-
-        // 4. Deny-by-default receivers requested before install.
-        for host in self.deny_by_default.clone() {
-            self.receivers.insert(host, ReceiverShim::deny_by_default());
-        }
+        deployment
     }
+}
 
-    fn make_queue(&mut self, _link_index: usize, spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
-        // Only bottleneck (inter-router) links get the three-channel split;
-        // host access links keep their defaults.
-        if !self.bottlenecks.contains_key(&spec.addr) {
+/// Per-agent counters, merged into the [`DefenseReport`].
+#[derive(Debug, Default, Clone, Copy)]
+struct AgentStats {
+    request_drops: u64,
+    regular_drops: u64,
+    as_policer_drops: u64,
+    stamped_decr: u64,
+}
+
+/// The three-channel queue construction of a NetFence deployment.
+#[derive(Debug)]
+struct NetFenceQueues {
+    cfg: Config,
+    seed: u64,
+    /// Inter-router links owned by a deploying AS (dense indices).
+    links: Vec<usize>,
+}
+
+impl QueueFactory for NetFenceQueues {
+    fn make_queue(&mut self, link_index: usize, spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
+        // Only bottleneck (inter-router) links of deploying ASes get the
+        // three-channel split; everything else keeps its default.
+        if self.links.binary_search(&link_index).is_err() {
             return None;
         }
         let qlim_bytes = ((spec.capacity as f64 * 0.2 / 8.0) as usize).max(15_000);
@@ -246,17 +285,27 @@ impl DefenseSystem for NetFenceDefense {
             self.cfg.request_channel_fraction,
         )))
     }
+}
 
-    fn on_host_send(&mut self, now: Nanos, pkt: &mut Packet) {
+/// The sender/receiver shim of one NetFence host.
+#[derive(Debug)]
+struct NetFenceHostShim {
+    cfg: Config,
+    sender: SenderShim,
+    receiver: ReceiverShim,
+    priority_override: Option<u8>,
+}
+
+impl HostShim for NetFenceHostShim {
+    fn on_send(&mut self, now: Nanos, pkt: &mut Packet, _ctl: &mut ControlPlane) {
         let proto = match pkt.protocol {
             Protocol::Tcp => 6,
             Protocol::Udp => 17,
         };
-        let echo = self.receivers.entry(pkt.src).or_default().echo_for(HostId(pkt.dst));
-        let sender = self.senders.entry(pkt.src).or_default();
-        let mut header = sender.make_header(now, HostId(pkt.dst), proto, echo, &self.cfg);
+        let echo = self.receiver.echo_for(HostId(pkt.dst));
+        let mut header = self.sender.make_header(now, HostId(pkt.dst), proto, echo, &self.cfg);
         if header.kind == netfence_core::header::PacketKind::Request {
-            if let Some(&level) = self.priority_override.get(&pkt.src) {
+            if let Some(level) = self.priority_override {
                 header.priority = level;
             }
             pkt.channel = ChannelClass::Request;
@@ -269,21 +318,55 @@ impl DefenseSystem for NetFenceDefense {
         pkt.ext = Some(Box::new(ext));
     }
 
+    fn on_receive(&mut self, _now: Nanos, pkt: &Packet, _ctl: &mut ControlPlane) {
+        let Some(ext) = pkt.ext_as::<NetFenceExt>() else {
+            return;
+        };
+        self.receiver.packet_received(HostId(pkt.src), ext.header.presented);
+        if let Some(echo) = ext.header.echoed {
+            self.sender.feedback_returned(HostId(pkt.src), echo);
+        }
+    }
+}
+
+/// The NetFence agent of one deployed router: access-router protocol state
+/// (when the node is an access router) plus per-outgoing-link bottleneck
+/// state.
+#[derive(Debug)]
+struct NetFenceRouterAgent {
+    access: Option<AccessRouter>,
+    /// Bottleneck state per outgoing inter-router link: (link index,
+    /// state), sorted ascending by index.
+    bottlenecks: Vec<(usize, BottleneckLink)>,
+    /// Per-AS damage localization per outgoing link (§4.5), when enabled.
+    as_policers: Vec<(usize, AsPolicer)>,
+    key_agent: AsKeyAgent,
+    stats: AgentStats,
+}
+
+impl NetFenceRouterAgent {
+    fn bottleneck_mut(&mut self, link_index: usize) -> Option<&mut BottleneckLink> {
+        let i = self.bottlenecks.binary_search_by_key(&link_index, |(li, _)| *li).ok()?;
+        Some(&mut self.bottlenecks[i].1)
+    }
+}
+
+impl RouterAgent for NetFenceRouterAgent {
     fn at_router(
         &mut self,
         now: Nanos,
-        node: NodeId,
         is_access: bool,
-        out_link: LinkAddr,
+        out_link: LinkRef,
         pkt: &mut Packet,
+        _ctl: &mut ControlPlane,
     ) -> RouterAction {
         if is_access {
-            let Some(access) = self.access.get_mut(&node) else {
+            let Some(access) = self.access.as_mut() else {
                 return RouterAction::Forward;
             };
             let flow = FlowPair::new(HostId(pkt.src), HostId(pkt.dst));
             let size = pkt.size;
-            let Some(ext) = Self::ext_of(pkt) else {
+            let Some(ext) = pkt.ext_as_mut::<NetFenceExt>() else {
                 // Legacy traffic: forwarded with the lowest priority.
                 pkt.channel = ChannelClass::Legacy;
                 return RouterAction::Forward;
@@ -292,7 +375,7 @@ impl DefenseSystem for NetFenceDefense {
             match verdict {
                 AccessVerdict::Forward { channel } => {
                     let priority = ext.header.priority;
-                    pkt.channel = Self::channel_of(channel);
+                    pkt.channel = channel_of(channel);
                     pkt.priority = priority;
                     RouterAction::Forward
                 }
@@ -310,13 +393,25 @@ impl DefenseSystem for NetFenceDefense {
                 }
             }
         } else {
-            // A core/bottleneck router: optional per-AS damage localization
-            // on its outgoing link (only once a monitoring cycle is active).
-            if let Some(policer) = self.as_policers.get_mut(&out_link) {
-                let in_mon = self.bottlenecks.get(&out_link).map(|b| b.in_mon()).unwrap_or(false);
+            // A core/bottleneck router of a deploying AS.
+            if pkt.ext_as::<NetFenceExt>().is_none() {
+                // Traffic from a non-deploying AS carries no NetFence
+                // header: demote it below NetFence traffic (§5.3's adoption
+                // incentive).
+                pkt.channel = ChannelClass::Legacy;
+                return RouterAction::Forward;
+            }
+            // Optional per-AS damage localization on the outgoing link
+            // (only once a monitoring cycle is active).
+            if let Ok(pi) = self.as_policers.binary_search_by_key(&out_link.index, |(li, _)| *li) {
+                let in_mon = self
+                    .bottlenecks
+                    .binary_search_by_key(&out_link.index, |(li, _)| *li)
+                    .map(|bi| self.bottlenecks[bi].1.in_mon())
+                    .unwrap_or(false);
                 if in_mon && pkt.channel == ChannelClass::Regular {
                     let src_as = AsId(pkt.src_as);
-                    if !policer.admit(now, src_as, pkt.size) {
+                    if !self.as_policers[pi].1.admit(now, src_as, pkt.size) {
                         self.stats.as_policer_drops += 1;
                         return RouterAction::Drop;
                     }
@@ -326,24 +421,24 @@ impl DefenseSystem for NetFenceDefense {
         }
     }
 
-    fn on_delayed_release(&mut self, _now: Nanos, pkt: &mut Packet) {
+    fn on_delayed_release(&mut self, _now: Nanos, pkt: &mut Packet, _ctl: &mut ControlPlane) {
         let src = pkt.src;
-        let Some(ext) = Self::ext_of(pkt) else { return };
+        let Some(ext) = pkt.ext_as_mut::<NetFenceExt>() else { return };
         if let Some(link) = ext.queued_for.take() {
-            for access in self.access.values_mut() {
+            if let Some(access) = self.access.as_mut() {
                 access.packet_released(HostId(src), link);
             }
         }
     }
 
-    fn on_link_dequeue(&mut self, now: Nanos, link: LinkAddr, pkt: &mut Packet) {
-        let Some(bl) = self.bottlenecks.get_mut(&link) else { return };
+    fn on_link_dequeue(&mut self, now: Nanos, link: LinkRef, pkt: &mut Packet) {
+        let Some(bl) = self.bottleneck_mut(link.index) else { return };
         if pkt.channel == ChannelClass::Regular {
             bl.record_regular(pkt.size, false);
         }
         let flow = FlowPair::new(HostId(pkt.src), HostId(pkt.dst));
         let src_as = AsId(pkt.src_as);
-        if let Some(ext) = Self::ext_of(pkt) {
+        if let Some(ext) = pkt.ext_as_mut::<NetFenceExt>() {
             let outcome = bl.update_feedback(now, flow, src_as, &mut ext.header.presented);
             if outcome == netfence_core::bottleneck::StampOutcome::StampedDecr {
                 self.stats.stamped_decr += 1;
@@ -351,35 +446,55 @@ impl DefenseSystem for NetFenceDefense {
         }
     }
 
-    fn on_link_drop(&mut self, now: Nanos, link: LinkAddr, pkt: &Packet) {
-        let Some(bl) = self.bottlenecks.get_mut(&link) else { return };
+    fn on_link_drop(&mut self, now: Nanos, link: LinkRef, pkt: &Packet) {
+        let Some(bl) = self.bottleneck_mut(link.index) else { return };
         if pkt.channel == ChannelClass::Regular {
             bl.record_regular(pkt.size, true);
             bl.note_congestion(now);
         }
     }
 
-    fn on_host_receive(&mut self, _now: Nanos, pkt: &Packet) {
-        let Some(ext) = pkt.ext.as_ref().and_then(|e| e.as_any().downcast_ref::<NetFenceExt>())
-        else {
-            return;
-        };
-        self.receivers
-            .entry(pkt.dst)
-            .or_default()
-            .packet_received(HostId(pkt.src), ext.header.presented);
-        if let Some(echo) = ext.header.echoed {
-            self.senders.entry(pkt.dst).or_default().feedback_returned(HostId(pkt.src), echo);
+    fn on_control(&mut self, _now: Nanos, msg: Box<dyn std::any::Any>, _ctl: &mut ControlPlane) {
+        let Some(ann) = msg.downcast_ref::<KeyAnnouncement>() else { return };
+        let key = self.key_agent.shared_key(ann.asn, ann.public_value);
+        if let Some(access) = self.access.as_mut() {
+            access.install_as_key(AsId(ann.asn), key);
+        }
+        for (_, bl) in self.bottlenecks.iter_mut() {
+            bl.install_as_key(AsId(ann.asn), key);
         }
     }
 
-    fn tick(&mut self, now: Nanos) {
-        for access in self.access.values_mut() {
+    fn tick(&mut self, now: Nanos, _ctl: &mut ControlPlane) {
+        if let Some(access) = self.access.as_mut() {
             access.tick(now);
         }
-        for bl in self.bottlenecks.values_mut() {
+        for (_, bl) in self.bottlenecks.iter_mut() {
             bl.tick(now);
         }
+    }
+
+    fn report(&self, out: &mut DefenseReport) {
+        out.request_drops += self.stats.request_drops;
+        out.regular_drops += self.stats.regular_drops;
+        out.as_policer_drops += self.stats.as_policer_drops;
+        out.stamped_decr += self.stats.stamped_decr;
+        if let Some(access) = &self.access {
+            out.rate_limiters += access.limiter_count();
+        }
+        for (_, bl) in self.bottlenecks.iter() {
+            if bl.in_mon() {
+                out.links_in_mon.push(bl.link().0);
+            }
+        }
+    }
+}
+
+fn channel_of(c: Channel) -> ChannelClass {
+    match c {
+        Channel::Regular => ChannelClass::Regular,
+        Channel::Request => ChannelClass::Request,
+        Channel::Legacy => ChannelClass::Legacy,
     }
 }
 
@@ -411,15 +526,17 @@ mod tests {
         (net, addr)
     }
 
+    fn deploy_full(net: &Network, defense: &NetFenceDefense) -> Deployment {
+        defense.deploy(net, &DeploymentSpec::full())
+    }
+
     #[test]
     fn no_attack_means_no_monitoring_and_no_limiters() {
         let (net, bottleneck) = small_net(5_000_000);
         let defense = NetFenceDefense::new(Config::short_timers());
-        let mut sim = Simulator::new(
-            net,
-            Box::new(defense),
-            SimConfig { end_time: 10 * SEC, ..Default::default() },
-        );
+        let deployment = deploy_full(&net, &defense);
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 10 * SEC, ..Default::default() });
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -435,9 +552,9 @@ mod tests {
         assert!(p.completions.len() > 20, "completed {}", p.completions.len());
         assert_eq!(p.failed_transfers, 0);
         // Idle state: no monitoring cycle ever starts and no limiter exists.
-        let d = sim.defense.as_any().downcast_ref::<NetFenceDefense>().unwrap();
-        assert!(!d.link_in_mon(bottleneck));
-        assert_eq!(d.total_rate_limiters(), 0);
+        let report = sim.report();
+        assert!(!report.link_in_mon(bottleneck));
+        assert_eq!(report.rate_limiters, 0);
         assert!(sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0) < 10);
     }
 
@@ -448,9 +565,10 @@ mod tests {
         // (cf. engine tests); with NetFence both converge to roughly half.
         let (net, bottleneck) = small_net(1_000_000);
         let defense = NetFenceDefense::new(Config::short_timers());
+        let deployment = deploy_full(&net, &defense);
         let mut sim = Simulator::new(
             net,
-            Box::new(defense),
+            deployment,
             SimConfig { end_time: 120 * SEC, ..Default::default() },
         );
         let user = sim.add_flow(0, |id| {
@@ -481,9 +599,9 @@ mod tests {
         // only happens in mon — whether it is *still* in mon at the final
         // instant depends on the cycle phase) and installed per-(sender,
         // bottleneck) rate limiters.
-        let d = sim.defense.as_any().downcast_ref::<NetFenceDefense>().unwrap();
-        assert!(d.stats.stamped_decr > 0, "no L↓ ever stamped");
-        assert!(d.total_rate_limiters() >= 2, "limiters: {}", d.total_rate_limiters());
+        let report = sim.report();
+        assert!(report.stamped_decr > 0, "no L↓ ever stamped");
+        assert!(report.rate_limiters >= 2, "limiters: {}", report.rate_limiters);
         assert!(sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0) > 0);
     }
 
@@ -495,11 +613,9 @@ mod tests {
         // feedback; the attacker's request packets are also sent at the
         // lowest priority.
         defense.suppress_sender(VICTIM, ATTACKER);
-        let mut sim = Simulator::new(
-            net,
-            Box::new(defense),
-            SimConfig { end_time: 30 * SEC, ..Default::default() },
-        );
+        let deployment = deploy_full(&net, &defense);
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 30 * SEC, ..Default::default() });
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -524,5 +640,31 @@ mod tests {
         let p = sim.progress(user);
         assert!(p.completions.len() > 20);
         assert!(p.avg_transfer_secs().unwrap() < 3.0);
+    }
+
+    #[test]
+    fn legacy_source_as_is_demoted_at_deployed_bottleneck() {
+        // AS 1 (user + attacker) does NOT deploy; the transit and victim
+        // ASes do. The legacy flood is demoted to the legacy channel at the
+        // deployed bottleneck, so a deploying AS's traffic would win — and
+        // the legacy AS's own sender sees no policing at all.
+        let (net, _) = small_net(1_000_000);
+        let defense = NetFenceDefense::new(Config::short_timers());
+        let deployment = defense.deploy(&net, &DeploymentSpec::explicit(vec![2, 3]));
+        let report_before = deployment.report();
+        assert_eq!(report_before.deployed_ases, 2);
+        // No shims on AS-1 hosts, no agent on AS-1's access router.
+        assert_eq!(report_before.host_shims, 2, "only the AS-3 hosts get shims");
+        assert_eq!(report_before.router_agents, 2);
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 20 * SEC, ..Default::default() });
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 2_000_000)));
+        sim.run();
+        // Legacy traffic still flows (nothing polices it on an idle link) —
+        // bounded by the bottleneck, not dropped by a defense.
+        let delivered = sim.progress(attacker).goodput_bps(0, 20 * SEC);
+        assert!(delivered > 500_000.0, "legacy traffic should pass when uncontested: {delivered}");
+        assert_eq!(sim.report().rate_limiters, 0);
     }
 }

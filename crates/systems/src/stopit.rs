@@ -2,43 +2,57 @@
 //! NetFence evaluation (§6.3).
 //!
 //! StopIt is a filter-based defense: a targeted victim that can identify
-//! attack traffic installs a network filter that blocks the (source,
-//! destination) pair close to the source — in this model, at the source's
-//! access router. When receivers fail to install filters (e.g. colluding
-//! receivers), StopIt falls back to two-level hierarchical fair queuing
-//! (source AS, then source host) at congested links.
+//! attack traffic asks the network to block the (source, destination) pair
+//! close to the source. In this deployment model the victim's host shim
+//! sends a [`FilterRequest`] over the control-plane bus to the *source's
+//! access router*, whose agent installs the filter — the closed-loop
+//! StopIt protocol collapsed to one reliable message. When the source's AS
+//! has not deployed (no agent at its access router), the request is
+//! undeliverable and the attack traffic keeps flowing: exactly the
+//! partial-deployment weakness of filter systems. When receivers fail to
+//! install filters (e.g. colluding receivers), StopIt falls back to
+//! two-level hierarchical fair queuing (source AS, then source host) at
+//! congested links.
 
 use std::collections::HashSet;
 
-use netfence_sim::defense::{DefenseSystem, RouterAction};
-use netfence_sim::packet::{HostAddr, LinkAddr, Packet};
+use netfence_sim::deploy::{
+    ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
+    QueueFactory, RouterAction, RouterAgent,
+};
+use netfence_sim::packet::{HostAddr, Packet};
 use netfence_sim::queue::{HierDrrQueue, QueueDisc};
 use netfence_sim::time::Nanos;
 use netfence_sim::topology::{LinkSpec, Network, NodeId};
 
-/// The StopIt defense system.
+/// A control-plane request to block `src → dst` at the source's access
+/// router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterRequest {
+    /// The sender to block.
+    pub src: HostAddr,
+    /// The destination filing the filter.
+    pub dst: HostAddr,
+}
+
+/// The StopIt defense factory.
 #[derive(Debug, Default)]
 pub struct StopItDefense {
     /// Receivers that automatically file a filter request against every
     /// sender not on their whitelist (the victim behaviour in §6.3.1).
     auto_filter_victims: HashSet<HostAddr>,
-    /// Senders a victim accepts (never filtered).
+    /// Senders a victim accepts (never filtered): (sender, victim).
     whitelist: HashSet<(HostAddr, HostAddr)>,
-    /// Installed filters: (src, dst) pairs blocked at the source access
-    /// router.
-    filters: HashSet<(HostAddr, HostAddr)>,
+    /// Filters to pre-install at deploy time.
+    preinstalled: Vec<FilterRequest>,
     /// Whether inter-router links use the hierarchical fair-queuing
     /// fallback.
     hierarchical_fallback: bool,
-    /// Inter-router links (learned at install time).
-    router_links: HashSet<LinkAddr>,
-    /// Packets dropped by filters.
-    pub filtered_drops: u64,
 }
 
 impl StopItDefense {
-    /// Create a StopIt deployment with the hierarchical fair-queuing
-    /// fallback enabled.
+    /// Create a StopIt factory with the hierarchical fair-queuing fallback
+    /// enabled.
     pub fn new() -> Self {
         StopItDefense { hierarchical_fallback: true, ..Default::default() }
     }
@@ -54,61 +68,123 @@ impl StopItDefense {
         self.whitelist.insert((sender, victim));
     }
 
-    /// Explicitly install a filter blocking `src → dst`.
+    /// Pre-install a filter blocking `src → dst` (sent over the bus at
+    /// deploy time).
     pub fn install_filter(&mut self, src: HostAddr, dst: HostAddr) {
-        self.filters.insert((src, dst));
-    }
-
-    /// Number of filters currently installed.
-    pub fn filter_count(&self) -> usize {
-        self.filters.len()
+        self.preinstalled.push(FilterRequest { src, dst });
     }
 }
 
-impl DefenseSystem for StopItDefense {
+impl DefenseFactory for StopItDefense {
     fn name(&self) -> &'static str {
         "stopit"
     }
 
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
+    fn deploy(&self, net: &Network, spec: &DeploymentSpec) -> Deployment {
+        let map = spec.resolve(net);
+        let mut builder = Deployment::builder(net, "stopit");
+        builder.ases(map.ases.len(), map.total_ases);
 
-    fn install(&mut self, net: &Network) {
-        for l in &net.links {
-            if net.nodes[l.from.0].host_addr().is_none() && net.nodes[l.to.0].host_addr().is_none()
-            {
-                self.router_links.insert(l.addr);
-            }
+        if self.hierarchical_fallback {
+            let links: Vec<usize> = net
+                .links
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    net.nodes[l.from.0].host_addr().is_none()
+                        && net.nodes[l.to.0].host_addr().is_none()
+                        && map.node(l.from)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            builder.queues(Box::new(StopItQueues { links }));
         }
-    }
 
-    fn make_queue(&mut self, _link_index: usize, spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
-        if self.hierarchical_fallback && self.router_links.contains(&spec.addr) {
+        for (i, node) in net.nodes.iter().enumerate() {
+            if node.host_addr().is_some() || !map.node(NodeId(i)) {
+                continue;
+            }
+            builder.router_agent(
+                NodeId(i),
+                Box::new(StopItRouterAgent { filters: HashSet::new(), filtered_drops: 0 }),
+            );
+        }
+        for host in net.hosts() {
+            if !map.as_deployed(net.as_of_host(host)) {
+                continue;
+            }
+            let whitelist =
+                self.whitelist.iter().filter(|&&(_, v)| v == host).map(|&(s, _)| s).collect();
+            builder.host_shim(
+                host,
+                Box::new(StopItHostShim {
+                    auto_filter: self.auto_filter_victims.contains(&host),
+                    whitelist,
+                    requested: HashSet::new(),
+                }),
+            );
+        }
+
+        let mut deployment = builder.build();
+        for &req in &self.preinstalled {
+            deployment.bus.to_access_router_of(req.src, req);
+        }
+        deployment
+    }
+}
+
+/// The hierarchical fair-queuing fallback on deployed inter-router links.
+#[derive(Debug)]
+struct StopItQueues {
+    links: Vec<usize>,
+}
+
+impl QueueFactory for StopItQueues {
+    fn make_queue(&mut self, link_index: usize, _spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
+        if self.links.binary_search(&link_index).is_ok() {
             Some(Box::new(HierDrrQueue::new(1500, 30_000)))
         } else {
             None
         }
     }
+}
 
-    fn on_host_receive(&mut self, _now: Nanos, pkt: &Packet) {
-        // A victim identifies unwanted traffic and installs a filter near
-        // the source (modelled as an immediate, reliable installation; the
-        // StopIt closed-loop protocol itself is out of scope here).
-        if self.auto_filter_victims.contains(&pkt.dst)
-            && !self.whitelist.contains(&(pkt.src, pkt.dst))
+/// The StopIt shim of one host: a victim identifies unwanted traffic and
+/// files filter requests over the control plane.
+#[derive(Debug)]
+struct StopItHostShim {
+    auto_filter: bool,
+    whitelist: HashSet<HostAddr>,
+    /// Senders a request was already filed against (requests are modelled
+    /// as reliable, so one suffices).
+    requested: HashSet<HostAddr>,
+}
+
+impl HostShim for StopItHostShim {
+    fn on_receive(&mut self, _now: Nanos, pkt: &Packet, ctl: &mut ControlPlane) {
+        if self.auto_filter && !self.whitelist.contains(&pkt.src) && self.requested.insert(pkt.src)
         {
-            self.filters.insert((pkt.src, pkt.dst));
+            ctl.to_access_router_of(pkt.src, FilterRequest { src: pkt.src, dst: pkt.dst });
         }
     }
+}
 
+/// The StopIt agent of one deployed router: the filters installed at this
+/// router (populated by [`FilterRequest`] messages).
+#[derive(Debug)]
+struct StopItRouterAgent {
+    filters: HashSet<(HostAddr, HostAddr)>,
+    filtered_drops: u64,
+}
+
+impl RouterAgent for StopItRouterAgent {
     fn at_router(
         &mut self,
         _now: Nanos,
-        _node: NodeId,
         is_access: bool,
-        _out_link: LinkAddr,
+        _out_link: LinkRef,
         pkt: &mut Packet,
+        _ctl: &mut ControlPlane,
     ) -> RouterAction {
         if is_access && self.filters.contains(&(pkt.src, pkt.dst)) {
             self.filtered_drops += 1;
@@ -116,6 +192,17 @@ impl DefenseSystem for StopItDefense {
         } else {
             RouterAction::Forward
         }
+    }
+
+    fn on_control(&mut self, _now: Nanos, msg: Box<dyn std::any::Any>, _ctl: &mut ControlPlane) {
+        if let Some(req) = msg.downcast_ref::<FilterRequest>() {
+            self.filters.insert((req.src, req.dst));
+        }
+    }
+
+    fn report(&self, out: &mut DefenseReport) {
+        out.filters += self.filters.len();
+        out.filtered_drops += self.filtered_drops;
     }
 }
 
@@ -148,11 +235,10 @@ mod tests {
         let mut d = StopItDefense::new();
         d.auto_filter(VICTIM);
         d.allow(VICTIM, USER);
-        let mut sim = Simulator::new(
-            net(),
-            Box::new(d),
-            SimConfig { end_time: 20 * SEC, ..Default::default() },
-        );
+        let net = net();
+        let deployment = d.deploy(&net, &DeploymentSpec::full());
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 20 * SEC, ..Default::default() });
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -166,8 +252,9 @@ mod tests {
         let attacker =
             sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
         sim.run();
-        let d = sim.defense.as_any().downcast_ref::<StopItDefense>().unwrap();
-        assert_eq!(d.filter_count(), 1, "one filter against the attacker");
+        let report = sim.report();
+        assert_eq!(report.filters, 1, "one filter against the attacker");
+        assert!(report.filtered_drops > 100);
         // Attack traffic is blocked after the first packets reach the
         // victim; the user transfers at full speed.
         let attacker_goodput = sim.progress(attacker).goodput_bps(0, 20 * SEC);
@@ -182,11 +269,10 @@ mod tests {
         // The colluder never files a filter; StopIt's per-AS/per-source fair
         // queuing still gives the user a share of the bottleneck.
         let d = StopItDefense::new();
-        let mut sim = Simulator::new(
-            net(),
-            Box::new(d),
-            SimConfig { end_time: 60 * SEC, ..Default::default() },
-        );
+        let net = net();
+        let deployment = d.deploy(&net, &DeploymentSpec::full());
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 60 * SEC, ..Default::default() });
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -204,7 +290,27 @@ mod tests {
         let attacker_bps = sim.progress(attacker).goodput_bps(0, 60 * SEC);
         assert!(attacker_bps < 650_000.0, "attacker {attacker_bps:.0}");
         assert!(user_bps > 250_000.0, "user {user_bps:.0}");
-        let d = sim.defense.as_any().downcast_ref::<StopItDefense>().unwrap();
-        assert_eq!(d.filter_count(), 0);
+        assert_eq!(sim.report().filters, 0);
+    }
+
+    #[test]
+    fn legacy_source_as_escapes_the_filter() {
+        // The victim's AS deploys but the attacker's AS does not: the
+        // filter request is undeliverable and the flood keeps arriving —
+        // the partial-deployment weakness of filter systems.
+        let mut d = StopItDefense::new();
+        d.auto_filter(VICTIM);
+        let net = net();
+        let deployment = d.deploy(&net, &DeploymentSpec::explicit(vec![2, 3]));
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 20 * SEC, ..Default::default() });
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
+        sim.run();
+        let report = sim.report();
+        assert_eq!(report.filters, 0, "no agent near the source to install the filter");
+        assert!(report.control_undeliverable >= 1);
+        let delivered = sim.progress(attacker).goodput_bps(0, 20 * SEC);
+        assert!(delivered > 500_000.0, "flood not blocked: {delivered:.0} bps keep flowing");
     }
 }

@@ -1,4 +1,4 @@
-//! TVA+ (Yang, Wetherall, Anderson; with the refinements of [27]), as
+//! TVA+ (Yang, Wetherall, Anderson; with the refinements of \[27\]), as
 //! described and used by the NetFence evaluation (§6.3).
 //!
 //! TVA+ is a capability-based defense:
@@ -6,7 +6,9 @@
 //! * a sender first transmits a *request* packet; requests are forwarded on
 //!   a channel capped at a small fraction of each link and scheduled with
 //!   two-level hierarchical fair queuing (source AS, then source host);
-//! * the receiver decides whether to grant a capability; only packets
+//! * the receiver decides whether to grant a capability; the grant is
+//!   piggybacked on reverse-direction traffic (carried in the shim header,
+//!   as real TVA returns capabilities in its replies), and only packets
 //!   carrying a valid capability use the regular channel;
 //! * to contain colluding (or incompetent) receivers that authorize attack
 //!   traffic, regular packets are scheduled with per-destination fair
@@ -14,14 +16,21 @@
 //!   exposes: a handful of colluder destinations can grab most of the
 //!   bottleneck.
 //!
-//! Capabilities here are modelled as (sender, receiver) grants with an
-//! expiration time rather than cryptographic tokens; the cryptographic
-//! machinery is NetFence-specific and is implemented in `netfence-core`.
+//! Deployment is per-AS: hosts of deploying ASes run a [`HostShim`] that
+//! requests/holds/grants capabilities, routers of deploying ASes run a
+//! [`RouterAgent`] that verifies the capability carried in each regular
+//! packet. Legacy traffic (no shim header) is forwarded unverified.
+//! Capabilities here are modelled as expiry timestamps rather than
+//! cryptographic tokens; the cryptographic machinery is NetFence-specific
+//! and is implemented in `netfence-core`.
 
 use std::collections::{HashMap, HashSet};
 
-use netfence_sim::defense::{DefenseSystem, RouterAction};
-use netfence_sim::packet::{ChannelClass, Extension, HostAddr, LinkAddr, Packet};
+use netfence_sim::deploy::{
+    ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
+    QueueFactory, RouterAction, RouterAgent,
+};
+use netfence_sim::packet::{ChannelClass, Extension, HostAddr, Packet};
 use netfence_sim::queue::{Classifier, DrrQueue, DualChannelQueue, HierDrrQueue, QueueDisc};
 use netfence_sim::time::{Nanos, SEC};
 use netfence_sim::topology::{LinkSpec, Network, NodeId};
@@ -31,27 +40,19 @@ use crate::headers::TvaExt;
 /// How long a granted capability remains valid.
 const CAPABILITY_LIFETIME: Nanos = 10 * SEC;
 
-/// The TVA+ defense system.
+/// The TVA+ defense factory.
 #[derive(Debug, Default)]
 pub struct TvaDefense {
     /// Receivers that refuse to grant capabilities to non-whitelisted
     /// senders (victims).
     deny_by_default: HashSet<HostAddr>,
-    /// Senders explicitly allowed at a deny-by-default receiver.
+    /// Senders explicitly allowed at a deny-by-default receiver:
+    /// (sender, receiver).
     whitelist: HashSet<(HostAddr, HostAddr)>,
-    /// Capabilities granted by receivers: (src, dst) → expiry.
-    granted: HashMap<(HostAddr, HostAddr), Nanos>,
-    /// Capabilities the senders have learned about (a grant becomes usable
-    /// once any packet flows back from the receiver): (src, dst) → expiry.
-    held: HashMap<(HostAddr, HostAddr), Nanos>,
-    /// Inter-router links.
-    router_links: HashSet<LinkAddr>,
-    /// Packets dropped because they were unauthorized regular packets.
-    pub unauthorized_drops: u64,
 }
 
 impl TvaDefense {
-    /// Create a TVA+ deployment.
+    /// Create a TVA+ factory.
     pub fn new() -> Self {
         Self::default()
     }
@@ -66,37 +67,68 @@ impl TvaDefense {
     pub fn allow(&mut self, victim: HostAddr, sender: HostAddr) {
         self.whitelist.insert((sender, victim));
     }
-
-    /// Number of currently granted capabilities.
-    pub fn granted_count(&self) -> usize {
-        self.granted.len()
-    }
-
-    fn wants(&self, sender: HostAddr, receiver: HostAddr) -> bool {
-        !self.deny_by_default.contains(&receiver) || self.whitelist.contains(&(sender, receiver))
-    }
 }
 
-impl DefenseSystem for TvaDefense {
+impl DefenseFactory for TvaDefense {
     fn name(&self) -> &'static str {
         "tva+"
     }
 
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
+    fn deploy(&self, net: &Network, spec: &DeploymentSpec) -> Deployment {
+        let map = spec.resolve(net);
+        let mut builder = Deployment::builder(net, "tva+");
+        builder.ases(map.ases.len(), map.total_ases);
 
-    fn install(&mut self, net: &Network) {
-        for l in &net.links {
-            if net.nodes[l.from.0].host_addr().is_none() && net.nodes[l.to.0].host_addr().is_none()
-            {
-                self.router_links.insert(l.addr);
+        let router_links: Vec<usize> = net
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                net.nodes[l.from.0].host_addr().is_none()
+                    && net.nodes[l.to.0].host_addr().is_none()
+                    && map.node(l.from)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        builder.queues(Box::new(TvaQueues { links: router_links }));
+
+        for (i, node) in net.nodes.iter().enumerate() {
+            if node.host_addr().is_some() || !map.node(NodeId(i)) {
+                continue;
             }
+            builder.router_agent(NodeId(i), Box::new(TvaRouterAgent { unauthorized_drops: 0 }));
         }
+        for host in net.hosts() {
+            if !map.as_deployed(net.as_of_host(host)) {
+                continue;
+            }
+            let whitelist =
+                self.whitelist.iter().filter(|&&(_, r)| r == host).map(|&(s, _)| s).collect();
+            builder.host_shim(
+                host,
+                Box::new(TvaHostShim {
+                    deny_by_default: self.deny_by_default.contains(&host),
+                    whitelist,
+                    granted: HashMap::new(),
+                    held: HashMap::new(),
+                }),
+            );
+        }
+        builder.build()
     }
+}
 
-    fn make_queue(&mut self, _link_index: usize, spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
-        if !self.router_links.contains(&spec.addr) {
+/// The TVA+ queue construction: per-destination fair queuing on the regular
+/// channel, capped hierarchical fair queuing on the request channel, on
+/// every deployed inter-router link.
+#[derive(Debug)]
+struct TvaQueues {
+    links: Vec<usize>,
+}
+
+impl QueueFactory for TvaQueues {
+    fn make_queue(&mut self, link_index: usize, spec: &LinkSpec) -> Option<Box<dyn QueueDisc>> {
+        if self.links.binary_search(&link_index).is_err() {
             return None;
         }
         // Regular channel: per-destination (per-receiver) fair queuing.
@@ -106,52 +138,89 @@ impl DefenseSystem for TvaDefense {
         let qlim_bytes = ((spec.capacity as f64 * 0.2 / 8.0) as usize).max(15_000);
         Some(Box::new(DualChannelQueue::new(regular, request, qlim_bytes / 4, spec.capacity, 0.05)))
     }
+}
 
-    fn on_host_send(&mut self, now: Nanos, pkt: &mut Packet) {
-        let key = (pkt.src, pkt.dst);
-        let authorized = self.held.get(&key).map(|&exp| exp > now).unwrap_or(false);
-        let ext = if authorized {
+/// The TVA+ shim of one host: the capabilities it has granted to peers and
+/// the capabilities it holds for its own destinations.
+#[derive(Debug)]
+struct TvaHostShim {
+    deny_by_default: bool,
+    /// Senders this receiver always grants.
+    whitelist: HashSet<HostAddr>,
+    /// Capabilities granted by this receiver: peer sender → expiry.
+    granted: HashMap<HostAddr, Nanos>,
+    /// Capabilities this sender holds: destination → expiry (learned from
+    /// grants piggybacked on reverse traffic).
+    held: HashMap<HostAddr, Nanos>,
+}
+
+impl TvaHostShim {
+    fn wants(&self, sender: HostAddr) -> bool {
+        !self.deny_by_default || self.whitelist.contains(&sender)
+    }
+}
+
+impl HostShim for TvaHostShim {
+    fn on_send(&mut self, now: Nanos, pkt: &mut Packet, _ctl: &mut ControlPlane) {
+        // Piggyback this host's (still valid) grant for the destination, so
+        // the destination learns it may send back on the regular channel.
+        let grant = self.granted.get(&pkt.dst).copied().filter(|&exp| exp > now);
+        let cap = self.held.get(&pkt.dst).copied().filter(|&exp| exp > now);
+        let ext = if let Some(exp) = cap {
             pkt.channel = ChannelClass::Regular;
-            TvaExt::Regular { authorized: true }
+            TvaExt::Regular { cap_expiry: exp, grant }
         } else {
             pkt.channel = ChannelClass::Request;
-            TvaExt::Request
+            TvaExt::Request { grant }
         };
         pkt.size += ext.wire_len();
         pkt.ext = Some(Box::new(ext));
     }
 
-    fn on_host_receive(&mut self, now: Nanos, pkt: &Packet) {
+    fn on_receive(&mut self, now: Nanos, pkt: &Packet, _ctl: &mut ControlPlane) {
         // 1. The receiver decides whether to (re)grant a capability to this
-        //    sender.
-        if self.wants(pkt.src, pkt.dst) {
-            self.granted.insert((pkt.src, pkt.dst), now + CAPABILITY_LIFETIME);
+        //    sender; the grant travels back inside this host's own reverse
+        //    traffic.
+        if self.wants(pkt.src) {
+            self.granted.insert(pkt.src, now + CAPABILITY_LIFETIME);
         }
-        // 2. Any packet flowing dst→src delivers the capability state to the
-        //    original sender: if dst has granted src, src now holds it.
-        if let Some(&exp) = self.granted.get(&(pkt.dst, pkt.src)) {
-            if exp > now {
-                self.held.insert((pkt.dst, pkt.src), exp);
+        // 2. A grant piggybacked on the arriving packet delivers the
+        //    capability for the reverse direction.
+        if let Some(grant) = pkt.ext_as::<TvaExt>().and_then(|e| e.grant()) {
+            if grant > now {
+                self.held.insert(pkt.src, grant);
             }
         }
     }
 
+    fn report(&self, out: &mut DefenseReport) {
+        out.capabilities_granted += self.granted.len();
+    }
+}
+
+/// The TVA+ agent of one deployed router: verifies the capability carried
+/// by regular packets.
+#[derive(Debug)]
+struct TvaRouterAgent {
+    unauthorized_drops: u64,
+}
+
+impl RouterAgent for TvaRouterAgent {
     fn at_router(
         &mut self,
         now: Nanos,
-        _node: NodeId,
         _is_access: bool,
-        _out_link: LinkAddr,
+        _out_link: LinkRef,
         pkt: &mut Packet,
+        _ctl: &mut ControlPlane,
     ) -> RouterAction {
         match pkt.ext_as::<TvaExt>() {
-            Some(TvaExt::Regular { authorized }) => {
-                // Routers verify capabilities; unauthorized regular packets
-                // are dropped (they would be demoted to the legacy channel
-                // in full TVA — equivalent for the evaluation).
-                let valid = *authorized
-                    && self.held.get(&(pkt.src, pkt.dst)).map(|&exp| exp > now).unwrap_or(false);
-                if valid {
+            Some(TvaExt::Regular { cap_expiry, .. }) => {
+                // Routers verify capabilities; regular packets with an
+                // expired capability are dropped (they would be demoted to
+                // the legacy channel in full TVA — equivalent for the
+                // evaluation).
+                if *cap_expiry > now {
                     RouterAction::Forward
                 } else {
                     self.unauthorized_drops += 1;
@@ -160,6 +229,10 @@ impl DefenseSystem for TvaDefense {
             }
             _ => RouterAction::Forward,
         }
+    }
+
+    fn report(&self, out: &mut DefenseReport) {
+        out.unauthorized_drops += self.unauthorized_drops;
     }
 }
 
@@ -192,11 +265,10 @@ mod tests {
         let mut d = TvaDefense::new();
         d.deny_by_default(VICTIM);
         d.allow(VICTIM, USER);
-        let mut sim = Simulator::new(
-            net(),
-            Box::new(d),
-            SimConfig { end_time: 20 * SEC, ..Default::default() },
-        );
+        let net = net();
+        let deployment = d.deploy(&net, &DeploymentSpec::full());
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 20 * SEC, ..Default::default() });
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -226,11 +298,10 @@ mod tests {
         // half the bottleneck while the victim's many legitimate senders
         // share the other half — the TVA+ weakness the paper highlights.
         let d = TvaDefense::new();
-        let mut sim = Simulator::new(
-            net(),
-            Box::new(d),
-            SimConfig { end_time: 60 * SEC, ..Default::default() },
-        );
+        let net = net();
+        let deployment = d.deploy(&net, &DeploymentSpec::full());
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 60 * SEC, ..Default::default() });
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -249,7 +320,6 @@ mod tests {
         // Both destinations get roughly half of the 1 Mbps bottleneck.
         assert!(attacker_bps > 350_000.0 && attacker_bps < 650_000.0, "attacker {attacker_bps:.0}");
         assert!(user_bps > 250_000.0, "user {user_bps:.0}");
-        let d = sim.defense.as_any().downcast_ref::<TvaDefense>().unwrap();
-        assert!(d.granted_count() >= 2);
+        assert!(sim.report().capabilities_granted >= 2);
     }
 }

@@ -34,13 +34,16 @@ fn small_net(bottleneck: u64) -> (Network, LinkAddr) {
 fn netfence_restores_fair_share_under_collusion() {
     let run = |defended: bool| -> (f64, f64) {
         let (net, _) = small_net(1_000_000);
-        let defense: Box<dyn DefenseSystem> = if defended {
-            Box::new(NetFenceDefense::new(Config::short_timers()))
+        let deployment = if defended {
+            NetFenceDefense::new(Config::short_timers()).deploy(&net, &DeploymentSpec::full())
         } else {
-            Box::new(NoDefense)
+            Deployment::undefended(&net)
         };
-        let mut sim =
-            Simulator::new(net, defense, SimConfig { end_time: 100 * SEC, ..Default::default() });
+        let mut sim = Simulator::new(
+            net,
+            deployment,
+            SimConfig { end_time: 100 * SEC, ..Default::default() },
+        );
         let user = sim.add_flow(0, |id| {
             Box::new(TcpFlow::new(
                 id,
@@ -79,11 +82,9 @@ fn withholding_feedback_suppresses_unwanted_traffic() {
     let (net, _) = small_net(1_000_000);
     let mut defense = NetFenceDefense::new(Config::short_timers());
     defense.suppress_sender(VICTIM, ATTACKER);
-    let mut sim = Simulator::new(
-        net,
-        Box::new(defense),
-        SimConfig { end_time: 30 * SEC, ..Default::default() },
-    );
+    let deployment = defense.deploy(&net, &DeploymentSpec::full());
+    let mut sim =
+        Simulator::new(net, deployment, SimConfig { end_time: 30 * SEC, ..Default::default() });
     let attacker = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
     sim.run();
     let delivered = sim.progress(attacker).goodput_bps(0, 30 * SEC);
@@ -97,11 +98,9 @@ fn withholding_feedback_suppresses_unwanted_traffic() {
 fn bottleneck_state_is_not_per_host() {
     let (net, bottleneck) = small_net(1_000_000);
     let defense = NetFenceDefense::new(Config::short_timers());
-    let mut sim = Simulator::new(
-        net,
-        Box::new(defense),
-        SimConfig { end_time: 60 * SEC, ..Default::default() },
-    );
+    let deployment = defense.deploy(&net, &DeploymentSpec::full());
+    let mut sim =
+        Simulator::new(net, deployment, SimConfig { end_time: 60 * SEC, ..Default::default() });
     sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 1_000_000)));
     sim.add_flow(0, |id| {
         Box::new(TcpFlow::new(
@@ -114,12 +113,12 @@ fn bottleneck_state_is_not_per_host() {
         ))
     });
     sim.run();
-    let d = sim.defense.as_any().downcast_ref::<NetFenceDefense>().unwrap();
-    assert!(d.link_in_mon(bottleneck));
+    let report = sim.report();
+    assert!(report.link_in_mon(bottleneck));
     // Access routers keep per-(sender, bottleneck) limiters; with 2 senders
     // and a handful of monitored links this is a small number that scales
     // with senders-behind-this-access-router, not with all hosts at the
     // bottleneck.
-    assert!(d.total_rate_limiters() >= 2);
-    assert!(d.total_rate_limiters() <= 16);
+    assert!(report.rate_limiters >= 2);
+    assert!(report.rate_limiters <= 16);
 }
