@@ -1,0 +1,35 @@
+//! Topology-scaling harness at reduced scale: how fast transit-stub
+//! internets build (the AS-aggregated routing construction is the hot
+//! path) and how many packets per second the engine simulates on them with
+//! and without a NetFence deployment. The full sweep lives in the
+//! `topo_scale` binary; these benched points feed the merged
+//! `BENCH_results.json` so the scaling trajectory is tracked per commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::topo_scale::{build_point, scale_spec};
+use netfence_experiments::{DefenseKind, Runner};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topo_scale");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    for hosts in [2_000usize, 8_000] {
+        g.bench_function(format!("build_{hosts}_hosts"), |b| {
+            b.iter(|| {
+                let p = build_point(hosts, 7);
+                std::hint::black_box(p.route_table_bytes)
+            })
+        });
+    }
+    for system in [DefenseKind::NetFence, DefenseKind::None] {
+        g.bench_function(format!("sim_600_hosts_{}", system.label()), |b| {
+            b.iter(|| {
+                let r = Runner::new(scale_spec(600, system)).run();
+                std::hint::black_box(r.avg_user_bps())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

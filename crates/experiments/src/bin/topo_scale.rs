@@ -1,0 +1,79 @@
+//! Topology-scaling sweep binary: host count vs build time, routing memory
+//! and simulated packets per wall-clock second (NetFence vs no defense) on
+//! generated transit-stub internets.
+//!
+//! Run with: `cargo run --release -p netfence-experiments --bin topo_scale`
+//! (`--quick` shrinks to the test scale, `--full` extends the sweep to
+//! 100 K-host builds and 16 K-host simulations).
+
+use netfence_experiments::report::{kbps, render_table};
+use netfence_experiments::topo_scale::{build_point, run_point};
+use netfence_experiments::DefenseKind;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let full = std::env::args().any(|a| a == "--full");
+    let (build_hosts, sim_hosts): (&[usize], &[usize]) = if quick {
+        (&[500, 2_000], &[500])
+    } else if full {
+        (&[1_000, 5_000, 10_000, 20_000, 50_000, 100_000], &[1_000, 4_000, 16_000])
+    } else {
+        (&[1_000, 5_000, 10_000, 20_000, 50_000], &[1_000, 4_000])
+    };
+
+    println!(
+        "Transit-stub build sweep (3×2 transit core, doubly-homed Zipf(0.9) stubs,\n\
+         AS-aggregated routing: one BFS per host-bearing router, dense next-hop tables):\n"
+    );
+    let rows: Vec<Vec<String>> = build_hosts
+        .iter()
+        .map(|&h| {
+            let p = build_point(h, 7);
+            vec![
+                p.hosts.to_string(),
+                p.stubs.to_string(),
+                p.nodes.to_string(),
+                p.links.to_string(),
+                format!("{}×{}", p.routers, p.destinations),
+                format!("{:.1}", p.route_table_bytes as f64 / 1024.0),
+                format!("{:.1}", p.build_secs * 1000.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["hosts", "stubs", "nodes", "links", "routes", "route KiB", "build ms"],
+            &rows
+        )
+    );
+
+    println!(
+        "Simulation sweep (5 s simulated unwanted flood, suppression off — the\n\
+         NetFence-vs-None gap is the deployed data plane's overhead):\n"
+    );
+    let systems = [DefenseKind::NetFence, DefenseKind::None];
+    let rows: Vec<Vec<String>> = sim_hosts
+        .iter()
+        .flat_map(|&h| {
+            let p = run_point(h, 7, &systems);
+            p.runs
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        p.hosts.to_string(),
+                        r.system.label().to_string(),
+                        format!("{:.2}", r.wall_secs),
+                        r.packets.to_string(),
+                        format!("{:.0}", r.pkts_per_sec),
+                        kbps(r.avg_user_bps),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["hosts", "system", "wall s", "packets", "pkts/s", "user kbps"], &rows)
+    );
+}

@@ -50,12 +50,13 @@ pub mod runner;
 pub mod spec;
 pub mod sweep;
 pub mod topo;
+pub mod topo_scale;
 
 pub use record::{DefenseReport, LinkStats, Record, Role, RoleSeries};
 pub use runner::Runner;
 pub use spec::{
-    AttackTarget, Bandwidth, DefenseKind, DefenseSpec, RoleSpec, Scale, ScenarioSpec,
-    StartSchedule, Suppression, TopologySpec, TrafficSpec,
+    AttackTarget, Bandwidth, DefenseKind, DefenseSpec, InternetShape, RoleSpec, Scale,
+    ScenarioSpec, StartSchedule, Suppression, TopologySpec, TrafficSpec,
 };
 pub use sweep::{Cell, SweepGrid};
 
@@ -65,9 +66,10 @@ pub mod prelude {
     pub use crate::runner::Runner;
     pub use crate::spec::{
         netfence_config, AttackTarget, Bandwidth, DefenseContext, DefenseKind, DefenseSpec,
-        RoleSpec, Scale, ScenarioSpec, StartSchedule, Suppression, SuppressionGroup, TopologySpec,
-        TrafficSpec,
+        InternetShape, RoleSpec, Scale, ScenarioSpec, StartSchedule, Suppression, SuppressionGroup,
+        TopologySpec, TrafficSpec,
     };
     pub use crate::sweep::{Cell, SweepGrid};
     pub use netfence_sim::deploy::{DeploymentSpec, Placement};
+    pub use netfence_topo::{BuiltTopo, MultiBottleneckSpec, TopoGroup, TopoSpec, TransitStubSpec};
 }

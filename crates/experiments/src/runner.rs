@@ -1,20 +1,27 @@
 //! Turns a [`ScenarioSpec`] into a simulation and a [`Record`].
 //!
 //! The [`Runner`] is the single place where networks are built, defenses
-//! deployed and flows spawned. It builds each network **exactly once** and
-//! moves it into the simulator (the pre-refactor harnesses rebuilt every
-//! dumbbell a second time just to keep the role metadata around), deploys
-//! the defense factory per the spec's [`DeploymentSpec`] (resolving
-//! coverage against the scenario's *source* ASes — destination and transit
-//! ASes deploy whenever coverage is nonzero), tags every flow with its
-//! role, runs the simulation, and collects the uniform [`Record`] including
-//! the deployment's typed [`DefenseReport`].
+//! deployed and flows spawned. Every topology — classic or generated —
+//! comes back from `netfence-topo` as one uniform [`BuiltTopo`] — the
+//! network (built **exactly once** and moved into the simulator) plus
+//! role metadata (groups of
+//! users/attackers with their victims and colluders, designated
+//! bottlenecks, source ASes). The runner deploys the defense factory per
+//! the spec's [`DeploymentSpec`] — fractional coverage is resolved against
+//! the topology's *source* ASes by
+//! [`DeploymentSpec::resolve_for_source_ases`], so destination and transit
+//! ASes deploy whenever coverage is nonzero — tags every flow with its
+//! role, runs the simulation, and collects the uniform [`Record`]
+//! including the deployment's typed [`DefenseReport`].
+//!
+//! [`DefenseReport`]: netfence_sim::deploy::DefenseReport
 
 use netfence_sim::prelude::*;
+use netfence_topo::{MultiBottleneckSpec, TransitStubSpec};
 
 use crate::record::{LinkStats, Record, Role, RoleSeries};
 use crate::spec::{AttackTarget, DefenseContext, ScenarioSpec, SuppressionGroup, TopologySpec};
-use crate::topo::{build_dumbbell, build_parking_lot, Dumbbell, ParkingLot};
+use crate::topo::{BuiltTopo, TopoSpec};
 
 /// Executes one [`ScenarioSpec`].
 #[derive(Debug, Clone)]
@@ -44,65 +51,80 @@ impl Runner {
     /// Build the network (once), instantiate the defense, spawn all role
     /// flows, run the simulation and collect the [`Record`].
     pub fn run(&self) -> Record {
-        match self.spec.topology {
-            TopologySpec::Dumbbell => self.run_dumbbell(),
-            TopologySpec::ParkingLot { l1_bps, l2_bps } => self.run_parking_lot(l1_bps, l2_bps),
-        }
+        let built = self.build_topo();
+        self.run_built(built)
     }
 
-    fn run_dumbbell(&self) -> Record {
+    /// Run the scenario on an externally built topology instead of the
+    /// spec's own [`TopologySpec`] — the escape hatch for custom
+    /// [`BuiltTopo`]s (hand-wired meshes, third-party generators). The
+    /// spec's defense, traffic, schedules and attack target apply
+    /// unchanged; its topology field is ignored.
+    pub fn run_on(&self, built: BuiltTopo) -> Record {
+        self.run_built(built)
+    }
+
+    /// Map the scenario onto a `netfence-topo` [`TopoSpec`] and build it.
+    fn build_topo(&self) -> BuiltTopo {
         let spec = &self.spec;
-        let bottleneck_bps = spec.resolved_bottleneck_bps();
         let colluder_ases = match spec.attack_target {
             AttackTarget::Victim => 0,
             AttackTarget::Colluders { ases } => ases.max(1),
         };
-        let Dumbbell { net, bottleneck, users, attackers, victim, colluders, .. } =
-            build_dumbbell(&spec.scale, spec.legit_per_as, bottleneck_bps, colluder_ases);
-
-        let ctx = DefenseContext {
-            groups: vec![SuppressionGroup { victim, users: &users, attackers: &attackers }],
-            bottleneck_bps,
-            attack_on_victim: spec.attack_target == AttackTarget::Victim,
-        };
-        let factory = spec.defense.build(&ctx);
-        let sources: Vec<HostAddr> = users.iter().chain(&attackers).copied().collect();
-        let deployment = deploy_for_sources(&*factory, &net, &spec.defense.deployment, &sources);
-
-        let planned = vec![
-            PlannedGroup {
-                name: "users".into(),
-                role: Role::User,
-                members: users.iter().map(|&u| (u, victim)).collect(),
-            },
-            PlannedGroup {
-                name: "attackers".into(),
-                role: Role::Attacker,
-                members: attackers
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &a)| match spec.attack_target {
-                        AttackTarget::Victim => (a, victim),
-                        AttackTarget::Colluders { .. } => (a, colluders[i % colluders.len()]),
-                    })
-                    .collect(),
-            },
-        ];
-
-        let links = vec![("bottleneck".to_string(), bottleneck, bottleneck_bps)];
-        let senders = spec.scale.senders();
-        let fair_share = bottleneck_bps as f64 / senders as f64;
-        self.simulate(net, deployment, planned, links, senders, fair_share)
+        match spec.topology {
+            TopologySpec::Dumbbell => TopoSpec::Dumbbell {
+                src_ases: spec.scale.src_ases,
+                hosts_per_as: spec.scale.hosts_per_as,
+                legit_per_as: spec.legit_per_as,
+                bottleneck_bps: spec.resolved_bottleneck_bps(),
+                colluder_ases,
+            }
+            .build(),
+            TopologySpec::ParkingLot { l1_bps, l2_bps } => {
+                let per_group = spec.scale.hosts_per_as.max(4);
+                TopoSpec::ParkingLot {
+                    per_group,
+                    legit_per_group: spec.legit_per_as.min(per_group),
+                    l1_bps,
+                    l2_bps,
+                }
+                .build()
+            }
+            TopologySpec::Internet(shape) => TopoSpec::TransitStub(TransitStubSpec {
+                transit_ases: shape.transit_ases,
+                routers_per_transit: shape.routers_per_transit,
+                stub_ases: spec.scale.src_ases,
+                hosts: spec.scale.senders(),
+                legit_per_stub: spec.legit_per_as,
+                zipf_milli_alpha: shape.zipf_milli_alpha,
+                multihoming: shape.multihoming,
+                bottleneck_bps: spec.resolved_bottleneck_bps(),
+                stub_bps: 0,
+                core_bps: 0,
+                colluder_ases,
+                seed: spec.scale.seed,
+            })
+            .build(),
+            TopologySpec::MultiBottleneck { bottlenecks, branches, bps } => {
+                let per_group = spec.scale.hosts_per_as.max(4);
+                TopoSpec::MultiBottleneck(MultiBottleneckSpec {
+                    bottlenecks,
+                    branches,
+                    hosts_per_group: per_group,
+                    legit_per_group: spec.legit_per_as.min(per_group),
+                    bottleneck_bps: bps,
+                })
+                .build()
+            }
+        }
     }
 
-    fn run_parking_lot(&self, l1_bps: u64, l2_bps: u64) -> Record {
+    /// Deploy, spawn and simulate one built topology.
+    fn run_built(&self, built: BuiltTopo) -> Record {
         let spec = &self.spec;
-        let per_group = spec.scale.hosts_per_as.max(4);
-        let legit = spec.legit_per_as.min(per_group);
-        let ParkingLot { net, l1, l2, groups, .. } =
-            build_parking_lot(per_group, legit, l1_bps, l2_bps);
+        let BuiltTopo { net, groups, bottlenecks, source_ases, competing_senders } = built;
+        let bottleneck_bps = bottlenecks.iter().map(|b| b.bps).min().unwrap_or(0);
 
-        let bottleneck_bps = l1_bps.min(l2_bps);
         let ctx = DefenseContext {
             groups: groups
                 .iter()
@@ -116,35 +138,47 @@ impl Runner {
             attack_on_victim: spec.attack_target == AttackTarget::Victim,
         };
         let factory = spec.defense.build(&ctx);
-        let sources: Vec<HostAddr> =
-            groups.iter().flat_map(|g| g.users.iter().chain(&g.attackers).copied()).collect();
-        let deployment = deploy_for_sources(&*factory, &net, &spec.defense.deployment, &sources);
+        let resolved = spec.defense.deployment.resolve_for_source_ases(&net, &source_ases);
+        let deployment = factory.deploy(&net, &resolved);
 
-        let mut planned = Vec::new();
+        let mut planned = Vec::with_capacity(2 * groups.len());
         for g in &groups {
+            assert!(
+                spec.attack_target == AttackTarget::Victim || !g.colluders.is_empty(),
+                "AttackTarget::Colluders needs a colluder destination in every group, but group \
+                 {:?} has none — build the topology with colluders or target the victim",
+                g.label
+            );
+            let (users_name, attackers_name) = if g.label.is_empty() {
+                ("users".to_string(), "attackers".to_string())
+            } else {
+                (format!("{}-users", g.label), format!("{}-attackers", g.label))
+            };
             planned.push(PlannedGroup {
-                name: format!("{}-users", g.label),
+                name: users_name,
                 role: Role::User,
                 members: g.users.iter().map(|&u| (u, g.victim)).collect(),
             });
-            let attacker_dst = match spec.attack_target {
-                AttackTarget::Victim => g.victim,
-                AttackTarget::Colluders { .. } => g.colluder,
-            };
             planned.push(PlannedGroup {
-                name: format!("{}-attackers", g.label),
+                name: attackers_name,
                 role: Role::Attacker,
-                members: g.attackers.iter().map(|&a| (a, attacker_dst)).collect(),
+                members: g
+                    .attackers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &a)| match spec.attack_target {
+                        AttackTarget::Victim => (a, g.victim),
+                        AttackTarget::Colluders { .. } => (a, g.colluders[i % g.colluders.len()]),
+                    })
+                    .collect(),
             });
         }
 
-        let links = vec![("L1".to_string(), l1, l1_bps), ("L2".to_string(), l2, l2_bps)];
-        // Groups A+C cross L1, groups A+B cross L2: 2·per_group senders
-        // compete for the tighter link.
-        let fair_share = bottleneck_bps as f64 / (2 * per_group) as f64;
-        // The parking lot simulates three groups of per_group senders; the
-        // dumbbell's src_ases × hosts_per_as does not apply here.
-        self.simulate(net, deployment, planned, links, 3 * per_group, fair_share)
+        let senders: usize = groups.iter().map(|g| g.users.len() + g.attackers.len()).sum();
+        let links: Vec<(String, LinkAddr, u64)> =
+            bottlenecks.into_iter().map(|b| (b.label, b.addr, b.bps)).collect();
+        let fair_share = bottleneck_bps as f64 / competing_senders.max(1) as f64;
+        self.simulate(net, deployment, planned, links, senders, fair_share)
     }
 
     /// Shared tail: spawn the planned role flows, run, collect.
@@ -219,50 +253,6 @@ impl Runner {
     }
 }
 
-/// Deploy `factory` onto `net`, interpreting fractional coverage against
-/// the scenario's *source* ASes: the first (or seeded) `coverage` fraction
-/// of the ASes hosting senders deploy, and every other AS (destination
-/// side, transit core) deploys whenever coverage is nonzero — the paper's
-/// adoption story, where the infrastructure deploys first and source
-/// networks adopt incrementally for better service (§5.3). Explicit
-/// placements pass through untouched.
-fn deploy_for_sources(
-    factory: &dyn DefenseFactory,
-    net: &Network,
-    dspec: &DeploymentSpec,
-    sources: &[HostAddr],
-) -> Deployment {
-    let resolved = match &dspec.placement {
-        Placement::Explicit(_) => dspec.clone(),
-        Placement::FirstEdgeAses | Placement::Seeded(_) => {
-            if dspec.coverage <= 0.0 {
-                DeploymentSpec::explicit(Vec::new())
-            } else {
-                let mut src_ases: Vec<AsNum> = sources.iter().map(|&h| net.as_of_host(h)).collect();
-                src_ases.sort_unstable();
-                src_ases.dedup();
-                let seed = match dspec.placement {
-                    Placement::Seeded(seed) => Some(seed),
-                    _ => None,
-                };
-                let mut chosen =
-                    netfence_sim::deploy::pick_fraction(&src_ases, dspec.coverage, seed);
-                // Every non-source AS (victims, colluders, transit core)
-                // deploys alongside — even when the coverage fraction
-                // rounds to zero adopting source ASes.
-                let mut all: Vec<AsNum> = net.nodes.iter().map(|n| n.as_num()).collect();
-                all.sort_unstable();
-                all.dedup();
-                chosen.extend(all.into_iter().filter(|a| src_ases.binary_search(a).is_err()));
-                chosen.sort_unstable();
-                chosen.dedup();
-                DeploymentSpec::explicit(chosen)
-            }
-        }
-    };
-    factory.deploy(net, &resolved)
-}
-
 /// A per-flow seed derived from the scenario seed, stable across runs and
 /// distinct across `(group, member)` so adding a flow never perturbs the
 /// random stream of another.
@@ -274,7 +264,7 @@ fn flow_seed(base: u64, group: usize, member: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{DefenseKind, Scale, TrafficSpec};
+    use crate::spec::{DefenseKind, InternetShape, Scale, TrafficSpec};
 
     #[test]
     fn dumbbell_record_has_expected_shape() {
@@ -311,6 +301,40 @@ mod tests {
         }
         assert_eq!(r.links.len(), 2);
         assert_eq!(r.links[0].label, "L1");
+    }
+
+    #[test]
+    fn internet_record_has_one_group_per_victim_and_zipf_senders() {
+        let scale = Scale { src_ases: 4, hosts_per_as: 5, sim_time: 5 * SEC, seed: 3 };
+        let spec = ScenarioSpec::internet(scale, InternetShape::default())
+            .defense(DefenseKind::None)
+            .bottleneck_bps(2_000_000);
+        let r = Runner::new(spec).run();
+        // 4 stubs × 5 hosts-per-AS on average = 20 senders, one user per
+        // stub (the dumbbell default carried over).
+        assert_eq!(r.senders, 20);
+        assert_eq!(r.group("users").unwrap().flows.len(), 4);
+        assert_eq!(r.group("attackers").unwrap().flows.len(), 16);
+        assert_eq!(r.links.len(), 1);
+        assert_eq!(r.links[0].label, "bottleneck");
+        assert_eq!(r.links[0].capacity_bps, 2_000_000);
+    }
+
+    #[test]
+    fn multi_bottleneck_record_generalizes_the_parking_lot() {
+        let scale = Scale { src_ases: 1, hosts_per_as: 4, sim_time: 5 * SEC, seed: 3 };
+        let spec =
+            ScenarioSpec::multi_bottleneck(scale, 3, 1, 1_000_000).defense(DefenseKind::None);
+        let r = Runner::new(spec).run();
+        // Groups: A + C1..C3 + B1, two role series each.
+        assert_eq!(r.roles.len(), 10);
+        assert!(r.group("A-users").is_some());
+        assert!(r.group("C3-attackers").is_some());
+        assert!(r.group("B1-users").is_some());
+        // Links: L1..L3 + B1.
+        assert_eq!(r.links.len(), 4);
+        assert_eq!(r.links[3].label, "B1");
+        assert_eq!(r.senders, 5 * 4);
     }
 
     #[test]

@@ -335,6 +335,44 @@ impl DeploymentSpec {
         }
     }
 
+    /// Resolve fractional coverage against an explicit list of *source*
+    /// (sender-hosting) ASes into an equivalent [`Placement::Explicit`]
+    /// spec: the first (or seeded) `coverage` fraction of `source_ases`
+    /// deploy, and every other AS of `net` — destination side, transit
+    /// core — deploys whenever coverage is nonzero (the "infrastructure
+    /// first" adoption story of §5.3). Explicit placements pass through
+    /// untouched.
+    ///
+    /// This is the single coverage rule shared by the experiment runner
+    /// (which feeds it the role metadata of classic or generated
+    /// topologies) — it must agree with [`DeploymentSpec::deploying_ases`]
+    /// or `coverage = 1.0` would stop reproducing full deployment.
+    pub fn resolve_for_source_ases(&self, net: &Network, source_ases: &[AsNum]) -> DeploymentSpec {
+        match &self.placement {
+            Placement::Explicit(_) => self.clone(),
+            Placement::FirstEdgeAses | Placement::Seeded(_) => {
+                if self.coverage <= 0.0 {
+                    return DeploymentSpec::explicit(Vec::new());
+                }
+                let mut sources = source_ases.to_vec();
+                sources.sort_unstable();
+                sources.dedup();
+                let seed = match self.placement {
+                    Placement::Seeded(seed) => Some(seed),
+                    _ => None,
+                };
+                let mut chosen = pick_fraction(&sources, self.coverage, seed);
+                let mut all: Vec<AsNum> = net.nodes.iter().map(|n| n.as_num()).collect();
+                all.sort_unstable();
+                all.dedup();
+                chosen.extend(all.into_iter().filter(|a| sources.binary_search(a).is_err()));
+                chosen.sort_unstable();
+                chosen.dedup();
+                DeploymentSpec::explicit(chosen)
+            }
+        }
+    }
+
     /// Resolve the spec against `net` into per-node deployment flags.
     pub fn resolve(&self, net: &Network) -> DeployMap {
         let ases = self.deploying_ases(net);

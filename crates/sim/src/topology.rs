@@ -1,5 +1,30 @@
-//! Static network description: nodes, links, routing, and builders for the
-//! paper's evaluation topologies (dumbbell and parking lot).
+//! Static network description: nodes, links, AS-aggregated routing, and the
+//! builder the topology generators assemble networks through.
+//!
+//! ## Routing model
+//!
+//! Routing is **aggregated by destination access router** (one routing
+//! destination per host-bearing router — the AS-prefix granularity a real
+//! FIB would use) instead of per destination host:
+//!
+//! * one BFS per *access router* over a router-only reverse-adjacency
+//!   graph, instead of one BFS per *host* over a full link scan —
+//!   `O(routers · (routers + router_links))` build time instead of
+//!   `O(hosts · links)`;
+//! * next-hop tables are dense `Vec`s indexed by `(router, destination)`
+//!   slot, instead of one `HashMap<HostAddr, link>` per node —
+//!   `O(routers · destinations)` words of memory instead of
+//!   `O(nodes · hosts)` hash entries;
+//! * hosts are resolved at the last hop: the destination's access router
+//!   forwards onto the host's recorded downlink, and a sending host always
+//!   uses its recorded uplink. Hosts are leaves — they never appear as
+//!   routing intermediates (the engine drops mis-delivered packets anyway).
+//!
+//! On topologies where every host hangs off a single access router (all of
+//! them, including the generated internet-scale graphs), the chosen paths
+//! are identical to the old per-host BFS: host leaves never altered the
+//! router-discovery order, and the reverse adjacency preserves the old
+//! link-index tie-breaking.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -9,6 +34,9 @@ use crate::time::Nanos;
 /// Index of a node in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
+
+/// Sentinel for "no slot / no route" in the dense routing tables.
+const NONE32: u32 = u32::MAX;
 
 /// What a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +59,7 @@ pub enum NodeKind {
 }
 
 /// A node in the network.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Node {
     /// Role and addressing of the node.
     pub kind: NodeKind,
@@ -70,7 +98,7 @@ pub enum QueueKind {
 }
 
 /// A unidirectional link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkSpec {
     /// Sending side.
     pub from: NodeId,
@@ -87,6 +115,33 @@ pub struct LinkSpec {
     pub queue: QueueKind,
 }
 
+/// A host's recorded attachment: its access router and the duplex link pair
+/// connecting them (made explicit by [`NetworkBuilder::host`] instead of
+/// being re-inferred from the link list, which silently misassigned on
+/// multihomed generated graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HostAttach {
+    /// The access router.
+    router: NodeId,
+    /// Link host → router.
+    uplink: usize,
+    /// Link router → host.
+    downlink: usize,
+    /// Dense destination slot of `router` in the routing tables.
+    dst_slot: u32,
+}
+
+/// Size and shape of the derived routing state, for scalability reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Routers carrying a next-hop table.
+    pub routers: usize,
+    /// Routing destinations (host-bearing access routers).
+    pub destinations: usize,
+    /// Bytes held by the dense next-hop tables.
+    pub table_bytes: usize,
+}
+
 /// An immutable network description plus derived routing tables.
 #[derive(Debug)]
 pub struct Network {
@@ -96,13 +151,21 @@ pub struct Network {
     pub links: Vec<LinkSpec>,
     /// Host address → node index.
     pub host_index: HashMap<HostAddr, NodeId>,
-    /// Per-node next-hop table: `routes[node][dst_host]` = outgoing link
-    /// index.
-    pub routes: Vec<HashMap<HostAddr, usize>>,
     /// Per-node outgoing link indices.
     pub out_links: Vec<Vec<usize>>,
     /// Each host's directly-attached (access) router.
     pub access_router: HashMap<HostAddr, NodeId>,
+    /// Host address → attachment (uplink/downlink/destination slot).
+    host_attach: HashMap<HostAddr, HostAttach>,
+    /// Per-node dense router slot (`NONE32` for hosts).
+    router_slot: Vec<u32>,
+    /// `routes[router_slot][dst_slot]` = outgoing link index, `NONE32` when
+    /// the destination router is unreachable.
+    routes: Vec<Vec<u32>>,
+    /// Protocol link address → link index.
+    link_index: HashMap<LinkAddr, usize>,
+    /// Number of routing destinations.
+    dst_count: usize,
 }
 
 impl Network {
@@ -122,17 +185,43 @@ impl Network {
     }
 
     /// The next-hop link index from `node` toward `dst`, if reachable.
+    ///
+    /// Routers consult their dense per-destination-router table; the
+    /// destination's own access router resolves the final hop to the host's
+    /// downlink; a sending host uses its uplink (when its access router can
+    /// reach the destination).
     pub fn next_hop(&self, node: NodeId, dst: HostAddr) -> Option<usize> {
-        self.routes[node.0].get(&dst).copied()
+        let att = *self.host_attach.get(&dst)?;
+        if node == att.router {
+            return Some(att.downlink);
+        }
+        match self.nodes[node.0].kind {
+            NodeKind::Host { addr, .. } => {
+                if addr == dst {
+                    return None;
+                }
+                let own = *self.host_attach.get(&addr)?;
+                if own.router == att.router {
+                    return Some(own.uplink);
+                }
+                let r = self.router_slot[own.router.0] as usize;
+                (self.routes[r][att.dst_slot as usize] != NONE32).then_some(own.uplink)
+            }
+            NodeKind::Router { .. } => {
+                let r = self.router_slot[node.0] as usize;
+                let l = self.routes[r][att.dst_slot as usize];
+                (l != NONE32).then_some(l as usize)
+            }
+        }
     }
 
-    /// Find a link index by its protocol-level address.
+    /// Find a link index by its protocol-level address (O(1) via the
+    /// prebuilt index).
     pub fn link_by_addr(&self, addr: LinkAddr) -> Option<usize> {
-        self.links.iter().position(|l| l.addr == addr)
+        self.link_index.get(&addr).copied()
     }
 
-    /// The access router a host is attached to (the first router on its
-    /// uplink), if any.
+    /// The access router a host is attached to, if any.
     pub fn access_router_of(&self, host: HostAddr) -> Option<NodeId> {
         self.access_router.get(&host).copied()
     }
@@ -143,6 +232,15 @@ impl Network {
         v.sort_unstable();
         v
     }
+
+    /// Size of the derived routing state.
+    pub fn route_stats(&self) -> RouteStats {
+        RouteStats {
+            routers: self.routes.len(),
+            destinations: self.dst_count,
+            table_bytes: self.routes.len() * self.dst_count * std::mem::size_of::<u32>(),
+        }
+    }
 }
 
 /// Builder for [`Network`].
@@ -151,6 +249,9 @@ pub struct NetworkBuilder {
     nodes: Vec<Node>,
     links: Vec<LinkSpec>,
     next_link_addr: LinkAddr,
+    /// `(host address, access router, uplink, downlink)` per host, recorded
+    /// at [`NetworkBuilder::host`] time.
+    attachments: Vec<(HostAddr, NodeId, usize, usize)>,
 }
 
 impl NetworkBuilder {
@@ -161,7 +262,10 @@ impl NetworkBuilder {
     }
 
     /// Add a host with address `addr` in `as_num`, attached to `router` by a
-    /// duplex link of `capacity`/`delay`.
+    /// duplex link of `capacity`/`delay`. The attachment is recorded
+    /// explicitly: `router` becomes the host's access router for routing,
+    /// deployment and control-plane addressing. `addr` must be unique and
+    /// `router` must be a router node.
     pub fn host(
         &mut self,
         addr: HostAddr,
@@ -170,13 +274,22 @@ impl NetworkBuilder {
         capacity: u64,
         delay: Nanos,
     ) -> NodeId {
+        assert!(
+            matches!(self.nodes[router.0].kind, NodeKind::Router { .. }),
+            "host {addr:#x} attached to non-router node {router:?}"
+        );
         self.nodes.push(Node { kind: NodeKind::Host { addr, as_num } });
         let id = NodeId(self.nodes.len() - 1);
-        self.duplex(id, router, capacity, delay, QueueKind::DropTail);
+        let (uplink, downlink) = self.duplex(id, router, capacity, delay, QueueKind::DropTail);
+        self.attachments.push((addr, router, uplink, downlink));
         id
     }
 
     /// Add a unidirectional link and return its index.
+    ///
+    /// Links added directly (rather than via [`NetworkBuilder::host`]) must
+    /// connect routers: hosts are routing leaves, reachable only over their
+    /// recorded attachment.
     pub fn link(
         &mut self,
         from: NodeId,
@@ -206,57 +319,107 @@ impl NetworkBuilder {
         (f, r)
     }
 
-    /// Finalize: computes host index, per-node outgoing links, and shortest
-    /// path (hop count) next-hop routes toward every host.
+    /// Finalize: computes the host/link indices and the AS-aggregated dense
+    /// routing tables (one BFS per host-bearing router over the router-only
+    /// reverse adjacency).
     pub fn build(self) -> Network {
-        let NetworkBuilder { nodes, links, .. } = self;
-        let mut host_index = HashMap::new();
+        let NetworkBuilder { nodes, links, attachments, .. } = self;
+
+        let mut host_index = HashMap::with_capacity(attachments.len());
         for (i, n) in nodes.iter().enumerate() {
             if let Some(addr) = n.host_addr() {
-                host_index.insert(addr, NodeId(i));
+                let prev = host_index.insert(addr, NodeId(i));
+                assert!(prev.is_none(), "duplicate host address {addr:#x}");
             }
         }
+
+        let mut link_index = HashMap::with_capacity(links.len());
         let mut out_links = vec![Vec::new(); nodes.len()];
         for (li, l) in links.iter().enumerate() {
             out_links[l.from.0].push(li);
+            let prev = link_index.insert(l.addr, li);
+            assert!(prev.is_none(), "duplicate link address {}", l.addr);
         }
-        // BFS from every host over reversed links to get next hops toward it.
-        let mut routes: Vec<HashMap<HostAddr, usize>> = vec![HashMap::new(); nodes.len()];
-        for (&addr, &host_node) in &host_index {
-            // dist[node] = hops to host; parent_link[node] = link to take.
-            let mut dist = vec![usize::MAX; nodes.len()];
-            let mut via = vec![usize::MAX; nodes.len()];
-            dist[host_node.0] = 0;
-            let mut q = VecDeque::new();
-            q.push_back(host_node.0);
-            while let Some(n) = q.pop_front() {
-                // Consider links arriving at n: their source can reach the
-                // host via that link.
-                for (li, l) in links.iter().enumerate() {
-                    if l.to.0 == n && dist[l.from.0] == usize::MAX {
-                        dist[l.from.0] = dist[n] + 1;
-                        via[l.from.0] = li;
-                        q.push_back(l.from.0);
+
+        // Dense router slots, in node order.
+        let mut router_slot = vec![NONE32; nodes.len()];
+        let mut router_count = 0u32;
+        for (i, n) in nodes.iter().enumerate() {
+            if n.host_addr().is_none() {
+                router_slot[i] = router_count;
+                router_count += 1;
+            }
+        }
+
+        // Routing destinations: host-bearing routers, slotted in node order.
+        let mut has_host = vec![false; nodes.len()];
+        for &(_, router, _, _) in &attachments {
+            has_host[router.0] = true;
+        }
+        let mut dst_slot_of_node = vec![NONE32; nodes.len()];
+        let mut dst_routers: Vec<u32> = Vec::new(); // dst slot -> router slot
+        for (i, &h) in has_host.iter().enumerate() {
+            if h {
+                dst_slot_of_node[i] = dst_routers.len() as u32;
+                dst_routers.push(router_slot[i]);
+            }
+        }
+        let dst_count = dst_routers.len();
+
+        // Router-only reverse adjacency, in link-index order (preserves the
+        // old full-scan tie-breaking): rev[to] lists (from, link) pairs.
+        let mut rev: Vec<Vec<(u32, u32)>> = vec![Vec::new(); router_count as usize];
+        for (li, l) in links.iter().enumerate() {
+            let (f, t) = (router_slot[l.from.0], router_slot[l.to.0]);
+            if f != NONE32 && t != NONE32 {
+                rev[t as usize].push((f, li as u32));
+            }
+        }
+
+        // One BFS per destination router, writing next hops straight into
+        // the dense column.
+        let mut routes: Vec<Vec<u32>> = vec![vec![NONE32; dst_count]; router_count as usize];
+        let mut dist = vec![u32::MAX; router_count as usize];
+        let mut q = VecDeque::new();
+        for (dst_slot, &root) in dst_routers.iter().enumerate() {
+            dist.fill(u32::MAX);
+            dist[root as usize] = 0;
+            q.clear();
+            q.push_back(root);
+            while let Some(r) = q.pop_front() {
+                let d = dist[r as usize] + 1;
+                for &(from, li) in &rev[r as usize] {
+                    if dist[from as usize] == u32::MAX {
+                        dist[from as usize] = d;
+                        routes[from as usize][dst_slot] = li;
+                        q.push_back(from);
                     }
                 }
             }
-            for (n, &link) in via.iter().enumerate() {
-                if link != usize::MAX {
-                    routes[n].insert(addr, link);
-                }
-            }
         }
-        // Each host's access router: the node at the far end of its uplink.
-        let mut access_router = HashMap::new();
-        for (&addr, &node) in &host_index {
-            if let Some(&uplink) = out_links[node.0].first() {
-                let peer = links[uplink].to;
-                if matches!(nodes[peer.0].kind, NodeKind::Router { .. }) {
-                    access_router.insert(addr, peer);
-                }
-            }
+
+        let mut access_router = HashMap::with_capacity(attachments.len());
+        let mut host_attach = HashMap::with_capacity(attachments.len());
+        for &(addr, router, uplink, downlink) in &attachments {
+            access_router.insert(addr, router);
+            host_attach.insert(
+                addr,
+                HostAttach { router, uplink, downlink, dst_slot: dst_slot_of_node[router.0] },
+            );
         }
-        Network { nodes, links, host_index, routes, out_links, access_router }
+
+        Network {
+            nodes,
+            links,
+            host_index,
+            out_links,
+            access_router,
+            host_attach,
+            router_slot,
+            routes,
+            link_index,
+            dst_count,
+        }
     }
 }
 
@@ -316,6 +479,7 @@ mod tests {
             let idx = net.link_by_addr(l.addr).unwrap();
             assert_eq!(net.links[idx].addr, l.addr);
         }
+        assert_eq!(net.link_by_addr(0xdead_beef), None);
     }
 
     #[test]
@@ -327,5 +491,74 @@ mod tests {
         b.host(a, 1, r1, 1_000_000, MILLI);
         let net = b.build();
         assert_eq!(net.next_hop(NodeId(1), 99), None);
+    }
+
+    #[test]
+    fn partitioned_hosts_have_no_route_to_each_other() {
+        let mut b = Network::builder();
+        let r1 = b.router(1, true);
+        let r2 = b.router(2, true); // island: never linked to r1
+        b.host(0xa1, 1, r1, 1_000_000, MILLI);
+        b.host(0xb1, 2, r2, 1_000_000, MILLI);
+        let net = b.build();
+        // Neither the hosts nor their routers can reach across.
+        assert_eq!(net.next_hop(net.host_node(0xa1), 0xb1), None);
+        assert_eq!(net.next_hop(NodeId(0), 0xb1), None);
+        // Same-side routing still works.
+        assert!(net.next_hop(NodeId(0), 0xa1).is_some());
+        // A host has no route to itself.
+        assert_eq!(net.next_hop(net.host_node(0xa1), 0xa1), None);
+    }
+
+    #[test]
+    fn two_hosts_on_one_router_route_via_the_shared_access_router() {
+        let mut b = Network::builder();
+        let r = b.router(1, true);
+        b.host(0xa1, 1, r, 1_000_000, MILLI);
+        b.host(0xa2, 1, r, 1_000_000, MILLI);
+        let net = b.build();
+        let h1 = net.host_node(0xa1);
+        let up = net.next_hop(h1, 0xa2).unwrap();
+        assert_eq!(net.links[up].to, r);
+        let down = net.next_hop(r, 0xa2).unwrap();
+        assert_eq!(net.links[down].to, net.host_node(0xa2));
+    }
+
+    #[test]
+    fn route_stats_report_dense_table_shape() {
+        let (net, _, _) = chain();
+        let s = net.route_stats();
+        // r1 and r2 are the routers; both bear hosts, so both are
+        // destinations.
+        assert_eq!(s.routers, 2);
+        assert_eq!(s.destinations, 2);
+        assert_eq!(s.table_bytes, 2 * 2 * 4);
+    }
+
+    #[test]
+    fn explicit_attachment_survives_extra_router_links() {
+        // A multihomed access router: r1 has links to two transit routers
+        // added *before* the host attaches — the old first-out-link
+        // heuristic would still work here, but the recorded attachment must
+        // hold regardless of link ordering.
+        let mut b = Network::builder();
+        let t1 = b.router(100, false);
+        let t2 = b.router(101, false);
+        let r1 = b.router(1, true);
+        b.duplex(r1, t1, 10_000_000, MILLI, QueueKind::DropTail);
+        b.duplex(r1, t2, 10_000_000, MILLI, QueueKind::DropTail);
+        b.duplex(t1, t2, 10_000_000, MILLI, QueueKind::DropTail);
+        b.host(0xa1, 1, r1, 1_000_000, MILLI);
+        let net = b.build();
+        assert_eq!(net.access_router_of(0xa1), Some(r1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-router")]
+    fn attaching_a_host_to_a_host_panics() {
+        let mut b = Network::builder();
+        let r = b.router(1, true);
+        let h = b.host(0xa1, 1, r, 1_000_000, MILLI);
+        b.host(0xa2, 1, h, 1_000_000, MILLI);
     }
 }

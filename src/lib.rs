@@ -10,6 +10,7 @@
 //! | [`core`] | Sans-I/O protocol state machines (feedback, AIMD, policing) |
 //! | [`crypto`] | Software AES-128, AES-CMAC, Passport-style key exchange |
 //! | [`sim`] | Deterministic packet-level discrete-event simulator |
+//! | [`topo`] | Internet-scale topology generation (`TopoSpec` → `BuiltTopo`) |
 //! | [`systems`] | NetFence / TVA+ / StopIt / FQ bound to the simulator |
 //! | [`experiments`] | Declarative `ScenarioSpec` → `Runner` → `Record` API |
 //!
@@ -34,3 +35,4 @@ pub use netfence_crypto as crypto;
 pub use netfence_experiments as experiments;
 pub use netfence_sim as sim;
 pub use netfence_systems as systems;
+pub use netfence_topo as topo;

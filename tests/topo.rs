@@ -1,0 +1,290 @@
+//! Integration tests for the `netfence-topo` subsystem and the
+//! AS-aggregated routing rewrite.
+//!
+//! * Property tests (vendored proptest shim): every generated `TopoSpec`
+//!   yields a connected graph with unique link addresses, every host has an
+//!   access router, and every sender→victim route crosses at least one
+//!   designated bottleneck.
+//! * Degenerate-case regression: the fig8/fig9 dumbbell and the fig10
+//!   parking lot built through `TopoSpec` are byte-identical to the classic
+//!   builders — networks *and* the `Record`s the `Runner` produces on them.
+//! * Scale: a ≥ 50 K-host transit-stub network (including all routes)
+//!   builds in well under the 5 s budget in release mode.
+
+use std::time::Instant;
+
+use netfence::experiments::fig8::fig8_spec;
+use netfence::experiments::fig9::{fig9_spec, UserTraffic};
+use netfence::experiments::prelude::*;
+use netfence::sim::time::SEC;
+use netfence::topo::{classic, BuiltTopo, MultiBottleneckSpec, TopoSpec, TransitStubSpec};
+use proptest::proptest;
+
+/// Walk the route from `src` to `dst`; returns the link indices, or None if
+/// the walk does not reach `dst` within a generous hop bound.
+fn route(built: &BuiltTopo, src: u32, dst: u32) -> Option<Vec<usize>> {
+    let net = &built.net;
+    let mut node = net.host_node(src);
+    let mut hops = Vec::new();
+    for _ in 0..128 {
+        match net.next_hop(node, dst) {
+            Some(l) => {
+                hops.push(l);
+                node = net.links[l].to;
+            }
+            None => return None,
+        }
+        if net.nodes[node.0].host_addr() == Some(dst) {
+            return Some(hops);
+        }
+    }
+    None
+}
+
+/// The shared invariants every generated topology must satisfy.
+fn check_invariants(built: &BuiltTopo) {
+    // Unique link addresses, all resolvable through the O(1) index.
+    let mut addrs: Vec<_> = built.net.links.iter().map(|l| l.addr).collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    assert_eq!(addrs.len(), built.net.links.len(), "duplicate link addresses");
+    for (i, l) in built.net.links.iter().enumerate() {
+        assert_eq!(built.net.link_by_addr(l.addr), Some(i));
+    }
+    // Every host has an access router, and it is an access-marked router.
+    for host in built.net.hosts() {
+        let r = built.net.access_router_of(host).expect("host without access router");
+        assert!(built.net.nodes[r.0].host_addr().is_none(), "access router of {host:#x} is a host");
+    }
+    let bottleneck_links: Vec<usize> =
+        built.bottlenecks.iter().map(|b| built.net.link_by_addr(b.addr).unwrap()).collect();
+    for g in &built.groups {
+        for h in g.senders() {
+            // Connected: every sender reaches its victim and the victim
+            // reaches it back.
+            let path = route(built, h, g.victim)
+                .unwrap_or_else(|| panic!("no route {h:#x} -> victim {:#x}", g.victim));
+            assert!(route(built, g.victim, h).is_some(), "no reverse route to {h:#x}");
+            // Every sender→victim route crosses a designated bottleneck.
+            assert!(
+                path.iter().any(|l| bottleneck_links.contains(l)),
+                "route {h:#x} -> {:#x} misses every designated bottleneck",
+                g.victim
+            );
+            // Colluding destinations are reachable too.
+            for &c in &g.colluders {
+                assert!(route(built, h, c).is_some(), "no route {h:#x} -> colluder {c:#x}");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Transit-stub graphs satisfy the structural invariants across the
+    /// whole parameter space: core shape, Zipf skew, multihoming, colluder
+    /// count and seed.
+    #[test]
+    fn transit_stub_invariants(
+        transit_ases in 1usize..4,
+        routers_per_transit in 1usize..4,
+        stub_ases in 1usize..8,
+        extra_hosts in 0usize..40,
+        legit_per_stub in 1usize..3,
+        zipf_milli_alpha in 0u32..1800,
+        multihoming in 1usize..4,
+        colluder_ases in 0usize..3,
+        seed in 0u64..,
+    ) {
+        let spec = TransitStubSpec {
+            transit_ases,
+            routers_per_transit,
+            stub_ases,
+            hosts: stub_ases + extra_hosts,
+            legit_per_stub,
+            zipf_milli_alpha,
+            multihoming,
+            bottleneck_bps: 5_000_000,
+            stub_bps: 0,
+            core_bps: 0,
+            colluder_ases,
+            seed,
+        };
+        let built = TopoSpec::TransitStub(spec).build();
+        proptest::prop_assert_eq!(built.senders(), stub_ases + extra_hosts);
+        proptest::prop_assert_eq!(built.source_ases.len(), stub_ases);
+        check_invariants(&built);
+    }
+
+    /// Multi-bottleneck meshes satisfy the invariants, and the local /
+    /// branch groups cross exactly one designated bottleneck while the
+    /// long group crosses every chain link.
+    #[test]
+    fn multi_bottleneck_invariants(
+        bottlenecks in 1usize..5,
+        branches in 0usize..4,
+        hosts_per_group in 1usize..6,
+        bps in 1_000_000u64..10_000_000,
+    ) {
+        let spec = MultiBottleneckSpec {
+            bottlenecks,
+            branches,
+            hosts_per_group,
+            legit_per_group: 1,
+            bottleneck_bps: bps,
+        };
+        let built = TopoSpec::MultiBottleneck(spec).build();
+        proptest::prop_assert_eq!(built.groups.len(), 1 + bottlenecks + branches);
+        check_invariants(&built);
+        // The long group crosses all chain links; every other group crosses
+        // exactly one designated bottleneck.
+        let bneck_links: Vec<usize> =
+            built.bottlenecks.iter().map(|b| built.net.link_by_addr(b.addr).unwrap()).collect();
+        for (gi, g) in built.groups.iter().enumerate() {
+            let path = route(&built, g.users[0], g.victim).unwrap();
+            let crossed = path.iter().filter(|l| bneck_links.contains(l)).count();
+            if gi == 0 {
+                proptest::prop_assert_eq!(crossed, bottlenecks, "long group misses chain links");
+            } else {
+                proptest::prop_assert_eq!(crossed, 1, "group {} not isolated", g.label);
+            }
+        }
+    }
+}
+
+/// The fig8 dumbbell built through `TopoSpec` is the classic builder's
+/// network byte for byte, and the `Runner` produces byte-identical
+/// `Record`s on both (the routing rewrite and the `BuiltTopo` unification
+/// are behavior-preserving).
+#[test]
+fn fig8_dumbbell_via_topospec_matches_classic_byte_for_byte() {
+    let scale = Scale { src_ases: 3, hosts_per_as: 4, sim_time: 20 * SEC, seed: 11 };
+    let spec = fig8_spec(&scale, DefenseKind::NetFence, 100_000);
+    let via_topospec = Runner::new(spec.clone()).run();
+
+    // Rebuild the same dumbbell with the classic builder directly and run
+    // the identical scenario on it.
+    let classic_built = classic::build_dumbbell(
+        scale.src_ases,
+        scale.hosts_per_as,
+        spec.legit_per_as,
+        spec.resolved_bottleneck_bps(),
+        0,
+    )
+    .into_built();
+    let via_classic = Runner::new(spec).run_on(classic_built);
+    assert_eq!(via_topospec, via_classic, "fig8 record diverged from the classic builder");
+}
+
+/// Same regression for the fig9 colluding scenario (extra colluder ASes on
+/// the dumbbell) and the fig10 parking lot.
+#[test]
+fn fig9_and_parking_lot_via_topospec_match_classic_byte_for_byte() {
+    let scale = Scale { src_ases: 3, hosts_per_as: 4, sim_time: 20 * SEC, seed: 11 };
+    let spec = fig9_spec(&scale, DefenseKind::StopIt, UserTraffic::LongRunning, 100_000);
+    let via_topospec = Runner::new(spec.clone()).run();
+    let colluder_ases = match spec.attack_target {
+        AttackTarget::Colluders { ases } => ases.max(1),
+        AttackTarget::Victim => 0,
+    };
+    let classic_built = classic::build_dumbbell(
+        scale.src_ases,
+        scale.hosts_per_as,
+        spec.legit_per_as,
+        spec.resolved_bottleneck_bps(),
+        colluder_ases,
+    )
+    .into_built();
+    assert_eq!(via_topospec, Runner::new(spec).run_on(classic_built));
+
+    let lot = ScenarioSpec::parking_lot(scale, 3_200_000, 1_600_000).defense(DefenseKind::Tva);
+    let via_topospec = Runner::new(lot.clone()).run();
+    let per_group = scale.hosts_per_as.max(4);
+    let classic_built = classic::build_parking_lot(
+        per_group,
+        lot.legit_per_as.min(per_group),
+        3_200_000,
+        1_600_000,
+    )
+    .into_built();
+    assert_eq!(via_topospec, Runner::new(lot).run_on(classic_built));
+}
+
+/// Every defense kind runs end to end on a small generated internet and on
+/// a multi-bottleneck mesh (the CI guard that graph generation cannot rot).
+#[test]
+fn every_defense_kind_runs_on_generated_topologies() {
+    let scale = Scale { src_ases: 4, hosts_per_as: 4, sim_time: 10 * SEC, seed: 5 };
+    for kind in DefenseKind::EVERY {
+        let spec = ScenarioSpec::internet(scale, InternetShape::default())
+            .defense(kind)
+            .fair_share(100_000)
+            .users(TrafficSpec::repeated_file(20_000, 2 * SEC))
+            .attackers(TrafficSpec::cbr(500_000), AttackTarget::Victim);
+        let r = Runner::new(spec).run();
+        assert_eq!(r.senders, 16, "{kind:?}");
+        assert_eq!(r.links.len(), 1, "{kind:?}");
+        let moved: u64 =
+            r.users().chain(r.attackers()).map(|p| p.delivered_bytes + p.packets_sent).sum();
+        assert!(moved > 0, "{kind:?}: nothing was simulated on the internet topology");
+
+        let spec = ScenarioSpec::multi_bottleneck(scale, 2, 1, 2_000_000).defense(kind);
+        let r = Runner::new(spec).run();
+        assert_eq!(r.roles.len(), 8, "{kind:?}"); // A, C1, C2, B1 × users/attackers
+        assert_eq!(r.links.len(), 3, "{kind:?}");
+    }
+}
+
+/// Generated-topology runs are deterministic: same spec + seed, identical
+/// `Record`s; a different seed reshuffles the Zipf/multihoming draws.
+#[test]
+fn internet_records_are_deterministic_and_seed_sensitive() {
+    let scale = Scale { src_ases: 5, hosts_per_as: 4, sim_time: 10 * SEC, seed: 21 };
+    let spec = || {
+        ScenarioSpec::internet(scale, InternetShape::default())
+            .defense(DefenseKind::NetFence)
+            .fair_share(100_000)
+            .attackers(TrafficSpec::cbr(400_000), AttackTarget::Colluders { ases: 2 })
+    };
+    let a = Runner::new(spec()).run();
+    let b = Runner::new(spec()).run();
+    assert_eq!(a, b, "two runs of the same generated internet diverged");
+    let c = Runner::new(spec().seed(99)).run();
+    assert_ne!(a, c, "the seed does not reach the topology generator");
+}
+
+/// The scalability acceptance bar: a ≥ 50 K-host transit-stub network —
+/// including every route — builds in under 5 s in release mode (the old
+/// per-host-BFS routing needed minutes at this size).
+#[test]
+fn transit_stub_50k_hosts_builds_fast() {
+    let spec = TransitStubSpec {
+        transit_ases: 3,
+        routers_per_transit: 2,
+        stub_ases: 500,
+        hosts: 50_000,
+        legit_per_stub: 1,
+        zipf_milli_alpha: 900,
+        multihoming: 2,
+        bottleneck_bps: 2_500_000_000,
+        stub_bps: 0,
+        core_bps: 0,
+        colluder_ases: 2,
+        seed: 7,
+    };
+    let start = Instant::now();
+    let built = TopoSpec::TransitStub(spec).build();
+    let elapsed = start.elapsed();
+    assert_eq!(built.senders(), 50_000);
+    assert!(built.net.nodes.len() > 50_000);
+    // Spot-check routing without walking all 50 K hosts.
+    let g = &built.groups[0];
+    for &h in [g.users.first(), g.users.last(), g.attackers.first(), g.attackers.last()]
+        .into_iter()
+        .flatten()
+    {
+        assert!(route(&built, h, g.victim).is_some());
+    }
+    if !cfg!(debug_assertions) {
+        assert!(elapsed.as_secs_f64() < 5.0, "50K-host build took {elapsed:?}");
+    }
+}
