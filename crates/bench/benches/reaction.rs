@@ -1,0 +1,41 @@
+//! Reaction-time smoke bench: times one reaction-sweep cell, then records
+//! the *measured* reaction times (simulated nanoseconds) per
+//! (system × control-plane latency) point into the merged
+//! `BENCH_results.json` via [`criterion::record_value`], so the
+//! reaction-vs-latency curve is tracked alongside the wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::reaction::{run_reaction_cell, ReactionKnobs, SYSTEMS};
+use netfence_experiments::{DefenseKind, Scale};
+use netfence_sim::time::{MILLI, SEC};
+
+fn smoke_scale() -> Scale {
+    Scale { src_ases: 3, hosts_per_as: 3, sim_time: 30 * SEC, seed: 7 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reaction");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("cell_netfence_ideal", |b| {
+        b.iter(|| {
+            let p =
+                run_reaction_cell(&smoke_scale(), DefenseKind::NetFence, ReactionKnobs::ideal());
+            std::hint::black_box(p.avg_user_bps)
+        })
+    });
+    g.finish();
+
+    // The derived metric: reaction time vs control-plane latency for every
+    // swept system, stored as simulated nanoseconds (-1 = never recovered).
+    for system in SYSTEMS {
+        for latency in [0, 100 * MILLI, 2 * SEC] {
+            let p = run_reaction_cell(&smoke_scale(), system, ReactionKnobs::latency(latency));
+            let ns = p.reaction_secs.map_or(-1.0, |s| s * 1e9);
+            let id = format!("{}_lat{}ms", p.system.label(), latency / MILLI);
+            criterion::record_value("reaction_secs_vs_latency", &id, ns, 1);
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

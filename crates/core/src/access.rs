@@ -163,6 +163,12 @@ impl AccessRouter {
         self.as_keys.install(peer.0, key);
     }
 
+    /// Remove the pairwise key shared with `peer` (its TTL lapsed without
+    /// a refreshing announcement).
+    pub fn remove_as_key(&mut self, peer: AsId) -> bool {
+        self.as_keys.remove(peer.0)
+    }
+
     /// Give a host a larger request-token refill rate (e.g. a busy server).
     pub fn set_request_multiplier(&mut self, host: HostId, multiplier: f64) {
         self.request_multipliers.insert(host, multiplier);

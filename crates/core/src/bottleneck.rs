@@ -84,6 +84,13 @@ impl BottleneckLink {
         self.as_keys.install(peer.0, key);
     }
 
+    /// Remove the pairwise key shared with the source AS `peer` (its TTL
+    /// lapsed without a refreshing announcement); traffic from that AS
+    /// reverts to unverifiable until a new announcement lands.
+    pub fn remove_as_key(&mut self, peer: AsId) -> bool {
+        self.as_keys.remove(peer.0)
+    }
+
     /// The link capacity in bits per second.
     pub fn capacity(&self) -> Bps {
         self.capacity

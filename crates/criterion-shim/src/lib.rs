@@ -178,6 +178,23 @@ fn record_result(r: BenchResult) {
     results().lock().unwrap().push(r);
 }
 
+/// Record an externally measured scalar — e.g. a *simulated* duration such
+/// as a defense reaction time, expressed in nanoseconds — as a result row.
+/// It is merged into `BENCH_results.json` exactly like a timed benchmark,
+/// so derived metrics ride the same file and merge logic as wall-clock
+/// measurements. Negative values are conventionally sentinels (e.g.
+/// "never recovered").
+pub fn record_value(group: &str, id: &str, value_ns: f64, iters: u64) {
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    println!("  {label:<48} {:>14} ns (recorded)", format_ns(value_ns));
+    record_result(BenchResult {
+        group: group.to_string(),
+        id: id.to_string(),
+        mean_ns: value_ns,
+        iters,
+    });
+}
+
 /// Serialize one result as a JSON object (our own fixed format; no serde in
 /// the offline workspace).
 fn to_json_line(r: &BenchResult) -> String {

@@ -125,6 +125,12 @@ impl AsKeyTable {
         self.keys.get(&peer)
     }
 
+    /// Remove the key shared with `peer` (it expired without a refreshing
+    /// announcement). Returns whether a key was installed.
+    pub fn remove(&mut self, peer: AsNumber) -> bool {
+        self.keys.remove(&peer).is_some()
+    }
+
     /// Number of peers with installed keys.
     pub fn len(&self) -> usize {
         self.keys.len()

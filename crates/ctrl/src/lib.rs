@@ -1,0 +1,48 @@
+//! # netfence-ctrl
+//!
+//! The asynchronous control-plane service: what happens to a closed-loop
+//! DoS defense when its *own* coordination traffic has to cross a real
+//! internet.
+//!
+//! The simulator's [`ControlPlane`] bus is, by default, an instant-reliable
+//! oracle: every Passport key announcement and StopIt filter request
+//! arrives at the current simulated instant. That forecloses the question
+//! AITF makes central — *how fast does a defense react* when control
+//! messages are delayed, lost, or the controller is down? This crate
+//! supplies the missing transport as a [`ControlChannel`] implementation
+//! plus the policy-state model that goes with it:
+//!
+//! * [`service::CtrlService`] — the transport. Per-AS controllers with
+//!   daemon [`session::Session`]s (exponential-backoff reconnect),
+//!   propagation latency drawn from the topology's AS-to-AS path delay,
+//!   loss with bounded retransmission, and fault injection (controller
+//!   outage windows, partitioned ASes). Configured by
+//!   [`config::CtrlConfig`].
+//! * [`policy::PolicyStore`] — TTL'd policy rules with capacity limits:
+//!   StopIt filters, Passport/NetFence keys and TVA+ capability grants
+//!   expire and must be refreshed over the (possibly degraded) transport.
+//!
+//! The degenerate configuration [`config::CtrlConfig::ideal`] (zero
+//! latency, zero loss, no faults) reproduces the old bus byte-for-byte —
+//! the regression suite pins this for every defense.
+//!
+//! [`ControlPlane`]: netfence_sim::deploy::ControlPlane
+//! [`ControlChannel`]: netfence_sim::deploy::ControlChannel
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod policy;
+pub mod service;
+pub mod session;
+
+/// Commonly used re-exports.
+pub mod prelude {
+    pub use crate::config::{CtrlConfig, Outage, SessionConfig};
+    pub use crate::policy::{PolicyStats, PolicyStore};
+    pub use crate::service::CtrlService;
+    pub use crate::session::{Session, SessionState};
+}
+
+pub use prelude::*;

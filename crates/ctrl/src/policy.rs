@@ -1,0 +1,159 @@
+//! TTL'd policy rules with capacity limits.
+//!
+//! The danthegoodman1/netfence exemplar pushes *expiring* allow/deny rules
+//! from a central control plane to per-host daemons; nothing installed is
+//! permanent, so a defense only keeps working while its refresh traffic
+//! keeps landing. [`PolicyStore`] is that model as a reusable container:
+//! StopIt filters, Passport/NetFence pairwise keys and TVA+ capability
+//! grants all live in one, and the typed [`PolicyStats`] feed the
+//! deployment report's `rules_*` counters.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use netfence_sim::time::Nanos;
+
+/// Lifecycle counters of one policy store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Rules installed for the first time.
+    pub installed: u64,
+    /// Rules re-installed while still live (TTL refreshes).
+    pub refreshed: u64,
+    /// Rules purged after their TTL lapsed.
+    pub expired: u64,
+    /// Installs rejected because the store was at capacity.
+    pub rejected: u64,
+}
+
+/// A per-AS (or per-agent) store of TTL'd policy rules.
+///
+/// * `ttl == 0` means rules never expire — the legacy permanent-rule
+///   behavior, byte-identical to a plain set.
+/// * `capacity == 0` means unbounded; otherwise installs beyond the cap
+///   are rejected (and counted) until something expires.
+#[derive(Debug, Clone)]
+pub struct PolicyStore<K> {
+    ttl: Nanos,
+    capacity: usize,
+    /// Rule → expiry instant (`Nanos::MAX` when `ttl == 0`).
+    entries: HashMap<K, Nanos>,
+    /// Lifecycle counters.
+    pub stats: PolicyStats,
+}
+
+impl<K: Eq + Hash> PolicyStore<K> {
+    /// An empty store. `ttl == 0` disables expiry; `capacity == 0` means
+    /// unbounded.
+    pub fn new(ttl: Nanos, capacity: usize) -> Self {
+        PolicyStore { ttl, capacity, entries: HashMap::new(), stats: PolicyStats::default() }
+    }
+
+    /// The configured TTL (0 = rules never expire).
+    pub fn ttl(&self) -> Nanos {
+        self.ttl
+    }
+
+    /// Install or refresh a rule at time `now`. Returns `false` when the
+    /// store is full and the rule was not already present.
+    pub fn insert(&mut self, now: Nanos, key: K) -> bool {
+        let expiry = if self.ttl == 0 { Nanos::MAX } else { now + self.ttl };
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = expiry;
+            self.stats.refreshed += 1;
+            return true;
+        }
+        if self.capacity > 0 && self.entries.len() >= self.capacity {
+            self.stats.rejected += 1;
+            return false;
+        }
+        self.entries.insert(key, expiry);
+        self.stats.installed += 1;
+        true
+    }
+
+    /// Whether a live (non-expired) rule for `key` exists at time `now`.
+    pub fn contains(&self, now: Nanos, key: &K) -> bool {
+        self.entries.get(key).is_some_and(|&expiry| now < expiry)
+    }
+
+    /// The expiry instant of a rule, live or not.
+    pub fn expiry_of(&self, key: &K) -> Option<Nanos> {
+        self.entries.get(key).copied()
+    }
+
+    /// Drop every rule whose TTL lapsed by `now`, returning the purged
+    /// keys (so callers can tear down derived state, e.g. uninstall the
+    /// expired key from a router's key table).
+    pub fn purge(&mut self, now: Nanos) -> Vec<K>
+    where
+        K: Clone,
+    {
+        if self.ttl == 0 {
+            return Vec::new();
+        }
+        let dead: Vec<K> =
+            self.entries.iter().filter(|(_, &e)| now >= e).map(|(k, _)| k.clone()).collect();
+        for k in &dead {
+            self.entries.remove(k);
+        }
+        self.stats.expired += dead.len() as u64;
+        dead
+    }
+
+    /// Number of stored rules (live and expired-but-unpurged).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfence_sim::time::SEC;
+
+    #[test]
+    fn ttl_zero_behaves_like_a_permanent_set() {
+        let mut s: PolicyStore<u32> = PolicyStore::new(0, 0);
+        assert!(s.insert(0, 7));
+        assert!(s.contains(u64::MAX - 1, &7));
+        assert!(s.purge(u64::MAX - 1).is_empty());
+        assert_eq!(s.stats.installed, 1);
+        assert_eq!(s.stats.expired, 0);
+    }
+
+    #[test]
+    fn rules_expire_and_refresh_extends_life() {
+        let mut s: PolicyStore<u32> = PolicyStore::new(2 * SEC, 0);
+        s.insert(0, 1);
+        assert!(s.contains(SEC, &1));
+        assert!(!s.contains(2 * SEC, &1), "expired exactly at TTL");
+        // A refresh at 1s pushes expiry to 3s.
+        s.insert(SEC, 1);
+        assert!(s.contains(2 * SEC, &1));
+        assert_eq!(s.stats.refreshed, 1);
+        let dead = s.purge(3 * SEC);
+        assert_eq!(dead, vec![1]);
+        assert_eq!(s.stats.expired, 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn capacity_rejects_new_rules_but_allows_refresh() {
+        let mut s: PolicyStore<u32> = PolicyStore::new(SEC, 2);
+        assert!(s.insert(0, 1));
+        assert!(s.insert(0, 2));
+        assert!(!s.insert(0, 3), "store is full");
+        assert!(s.insert(0, 1), "refreshing a resident rule is always allowed");
+        assert_eq!(s.stats.rejected, 1);
+        assert_eq!(s.len(), 2);
+        // Expiry frees capacity.
+        s.purge(SEC);
+        assert!(s.insert(SEC, 3));
+    }
+}

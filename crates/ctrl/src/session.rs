@@ -1,0 +1,150 @@
+//! Daemon ↔ controller sessions with exponential-backoff reconnect.
+//!
+//! Every agent (host shim or router agent) of an AS is modelled as a
+//! daemon holding a streaming session to its AS controller. While the
+//! controller is up the session is transparent. When an outage window
+//! begins the daemon notices the broken stream immediately, enters
+//! [`SessionState::Reconnecting`] and retries with exponential backoff:
+//! the first retry `backoff_base` after the disconnect, then doubling up
+//! to `backoff_max`. The first retry at or after the outage's end
+//! succeeds — so control messages queued during the outage are held until
+//! that reconnect instant, not until the outage end itself.
+
+use netfence_sim::time::Nanos;
+
+use crate::config::SessionConfig;
+
+/// Connection state of one daemon session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// The stream to the controller is up.
+    Connected,
+    /// The stream broke; the daemon is backing off.
+    Reconnecting {
+        /// Retry attempts made so far in this outage.
+        attempt: u32,
+        /// When the next retry fires.
+        next_try: Nanos,
+    },
+}
+
+/// One daemon's session to its AS controller.
+#[derive(Debug, Clone)]
+pub struct Session {
+    cfg: SessionConfig,
+    state: SessionState,
+    /// Outage start the current/last reconnect cycle belongs to (dedups
+    /// the reconnect count when many messages probe the same outage).
+    last_outage: Option<Nanos>,
+    /// Completed reconnect cycles.
+    pub reconnects: u64,
+}
+
+impl Session {
+    /// A fresh, connected session.
+    pub fn new(cfg: SessionConfig) -> Self {
+        Session { cfg, state: SessionState::Connected, last_outage: None, reconnects: 0 }
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The earliest instant at or after `now` this session can carry a
+    /// message, given the currently covering outage window (if any).
+    ///
+    /// With no outage the session is (or becomes) [`SessionState::Connected`]
+    /// and the message goes out at `now`. Inside an outage the session
+    /// walks its backoff schedule and the message is held until the first
+    /// retry that lands after the outage ends.
+    pub fn ready_at(&mut self, now: Nanos, outage: Option<(Nanos, Nanos)>) -> Nanos {
+        match outage {
+            None => {
+                self.state = SessionState::Connected;
+                now
+            }
+            Some((start, end)) => {
+                if self.last_outage != Some(start) {
+                    self.last_outage = Some(start);
+                    self.reconnects += 1;
+                }
+                let (attempt, reconnect_at) = reconnect_schedule(self.cfg, start, end);
+                self.state = SessionState::Reconnecting { attempt, next_try: reconnect_at };
+                reconnect_at.max(now)
+            }
+        }
+    }
+}
+
+/// Walk the exponential-backoff schedule of a session disconnected at
+/// `start` whose controller returns at `end`: retries at `start + b`,
+/// `start + b + 2b`, …, each delay doubling and capped at `backoff_max`.
+/// Returns `(attempts, reconnect_instant)` — the count and time of the
+/// first retry at or after `end`.
+pub fn reconnect_schedule(cfg: SessionConfig, start: Nanos, end: Nanos) -> (u32, Nanos) {
+    let base = cfg.backoff_base.max(1);
+    let cap = cfg.backoff_max.max(base);
+    let mut t = start;
+    let mut delay = base;
+    let mut attempt = 0u32;
+    loop {
+        t += delay;
+        attempt += 1;
+        if t >= end {
+            return (attempt, t);
+        }
+        delay = (delay * 2).min(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfence_sim::time::{MILLI, SEC};
+
+    fn cfg() -> SessionConfig {
+        SessionConfig { backoff_base: 250 * MILLI, backoff_max: 8 * SEC }
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_until_reconnect() {
+        // Disconnect at 0, controller back at 1s. Retries at 250ms, 750ms,
+        // 1.75s → the third attempt is the first at/after 1s.
+        let (attempts, at) = reconnect_schedule(cfg(), 0, SEC);
+        assert_eq!(attempts, 3);
+        assert_eq!(at, 1_750 * MILLI);
+    }
+
+    #[test]
+    fn instant_recovery_reconnects_on_first_retry() {
+        let (attempts, at) = reconnect_schedule(cfg(), 0, 1);
+        assert_eq!(attempts, 1);
+        assert_eq!(at, 250 * MILLI);
+    }
+
+    #[test]
+    fn backoff_delay_is_capped() {
+        // A very long outage: delays double 250ms → 8s then stay there, so
+        // the reconnect lands within one cap of the outage end.
+        let (_, at) = reconnect_schedule(cfg(), 0, 100 * SEC);
+        assert!((100 * SEC..108 * SEC).contains(&at), "reconnect at {at}");
+    }
+
+    #[test]
+    fn session_tracks_state_and_counts_outages_once() {
+        let mut s = Session::new(cfg());
+        assert_eq!(s.ready_at(SEC, None), SEC);
+        assert_eq!(s.state(), SessionState::Connected);
+        // Two messages probing the same outage count one reconnect cycle.
+        let a = s.ready_at(2 * SEC, Some((2 * SEC, 3 * SEC)));
+        let b = s.ready_at(2 * SEC + MILLI, Some((2 * SEC, 3 * SEC)));
+        assert_eq!(a, b);
+        assert!(a >= 3 * SEC);
+        assert!(matches!(s.state(), SessionState::Reconnecting { .. }));
+        assert_eq!(s.reconnects, 1);
+        // Recovery after the outage.
+        assert_eq!(s.ready_at(4 * SEC, None), 4 * SEC);
+        assert_eq!(s.state(), SessionState::Connected);
+    }
+}

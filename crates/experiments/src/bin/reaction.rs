@@ -1,0 +1,55 @@
+//! Reaction-time sweep: control-plane latency/loss/outage vs how fast each
+//! defense restores legitimate goodput after the attack begins.
+use netfence_experiments::reaction::{default_knobs, run_reaction_sweep, ATTACK_START, SYSTEMS};
+use netfence_experiments::report::{kbps, render_table};
+use netfence_experiments::Scale;
+use netfence_sim::time::{MILLI, SEC};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut scale = if quick { Scale::tiny() } else { Scale::default_scale() };
+    scale.sim_time = if quick { 40 * SEC } else { 90 * SEC };
+    println!(
+        "Reaction time: attack at {}s, {} senders per point, {}s simulated\n",
+        ATTACK_START / SEC,
+        scale.senders(),
+        scale.sim_time / SEC
+    );
+    let points = run_reaction_sweep(&scale, &SYSTEMS, &default_knobs());
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.knobs.latency / MILLI),
+                format!("{:.1}%", p.knobs.loss_per_mille as f64 / 10.0),
+                format!("{}", p.knobs.outage / SEC),
+                p.system.label().to_string(),
+                match p.reaction_secs {
+                    Some(s) => format!("{s:.1}"),
+                    None => "never".to_string(),
+                },
+                kbps(p.avg_user_bps),
+                kbps(p.avg_attacker_bps),
+                format!("{}", p.control_retransmits),
+                format!("{}", p.control_lost),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "latency (ms)",
+                "loss",
+                "outage (s)",
+                "system",
+                "reaction (s)",
+                "user kbps",
+                "attacker kbps",
+                "retx",
+                "lost"
+            ],
+            &rows
+        )
+    );
+}

@@ -44,6 +44,7 @@ pub mod fig13;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod reaction;
 pub mod record;
 pub mod report;
 pub mod runner;
@@ -52,7 +53,7 @@ pub mod sweep;
 pub mod topo;
 pub mod topo_scale;
 
-pub use record::{DefenseReport, LinkStats, Record, Role, RoleSeries};
+pub use record::{DefenseReport, GoodputSample, LinkStats, Record, Role, RoleSeries};
 pub use runner::Runner;
 pub use spec::{
     AttackTarget, Bandwidth, DefenseKind, DefenseSpec, InternetShape, RoleSpec, Scale,
@@ -62,7 +63,7 @@ pub use sweep::{Cell, SweepGrid};
 
 /// Commonly used re-exports for writing scenarios.
 pub mod prelude {
-    pub use crate::record::{DefenseReport, LinkStats, Record, Role, RoleSeries};
+    pub use crate::record::{DefenseReport, GoodputSample, LinkStats, Record, Role, RoleSeries};
     pub use crate::runner::Runner;
     pub use crate::spec::{
         netfence_config, AttackTarget, Bandwidth, DefenseContext, DefenseKind, DefenseSpec,

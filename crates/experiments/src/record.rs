@@ -48,6 +48,19 @@ impl RoleSeries {
     }
 }
 
+/// One goodput sample: cumulative delivered bytes of each role at a
+/// sampled instant (enabled by
+/// [`ScenarioSpec::sampled`](crate::spec::ScenarioSpec::sampled)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoodputSample {
+    /// Sample instant.
+    pub at: Nanos,
+    /// Cumulative bytes delivered by all user flows.
+    pub user_bytes: u64,
+    /// Cumulative bytes delivered by all attacker flows.
+    pub attacker_bytes: u64,
+}
+
 /// Statistics of one monitored (bottleneck) link.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkStats {
@@ -83,6 +96,11 @@ pub struct Record {
     /// The deployed defense's merged typed counters (rate limiters,
     /// filters, capabilities, monitoring state, deployment extent).
     pub report: DefenseReport,
+    /// Periodic goodput samples (empty unless the spec enabled sampling).
+    pub samples: Vec<GoodputSample>,
+    /// When the earliest attacker starts sending (`None` without
+    /// attackers), the reference instant of [`Record::reaction_secs`].
+    pub attack_start: Option<Nanos>,
 }
 
 impl Record {
@@ -154,6 +172,59 @@ impl Record {
         }
     }
 
+    /// Defense reaction time in seconds: attack start → the first instant
+    /// user goodput sustainably recovers to ≥ 90% of its pre-attack level.
+    ///
+    /// Computed from the periodic [`GoodputSample`]s: the baseline is the
+    /// mean per-window user goodput over the windows ending at or before
+    /// the attack start; recovery is the first post-attack window that
+    /// reaches 90% of it *and* is followed only by windows whose average
+    /// also holds the threshold (so a transient spike mid-collapse does
+    /// not count). Returns `None` when sampling was off, no pre-attack
+    /// baseline exists, or the goodput never recovers within the run —
+    /// callers treat `None` as "did not react".
+    pub fn reaction_secs(&self) -> Option<f64> {
+        let attack_start = self.attack_start?;
+        // Per-window user byte deltas: window i spans (at[i-1], at[i]],
+        // with window 0 spanning (0, at[0]].
+        let deltas: Vec<(Nanos, Nanos, u64)> = self
+            .samples
+            .iter()
+            .scan((0, 0u64), |(prev_at, prev_bytes), s| {
+                let d = (*prev_at, s.at, s.user_bytes.saturating_sub(*prev_bytes));
+                *prev_at = s.at;
+                *prev_bytes = s.user_bytes;
+                Some(d)
+            })
+            .collect();
+        let pre: Vec<u64> =
+            deltas.iter().filter(|&&(_, end, _)| end <= attack_start).map(|&(_, _, b)| b).collect();
+        if pre.is_empty() {
+            return None;
+        }
+        let baseline = pre.iter().sum::<u64>() as f64 / pre.len() as f64;
+        if baseline <= 0.0 {
+            return None;
+        }
+        let threshold = baseline * 0.9;
+        let post: Vec<&(Nanos, Nanos, u64)> =
+            deltas.iter().filter(|&&(start, _, _)| start >= attack_start).collect();
+        for (i, &&(_, end, bytes)) in post.iter().enumerate() {
+            if (bytes as f64) < threshold {
+                continue;
+            }
+            // Sustained: the remaining windows must *on average* hold the
+            // threshold too (individual windows may dip — TCP goodput is
+            // bursty at sample granularity).
+            let rest = &post[i..];
+            let rest_avg = rest.iter().map(|&&(_, _, b)| b as f64).sum::<f64>() / rest.len() as f64;
+            if rest_avg >= threshold {
+                return Some((end.saturating_sub(attack_start)) as f64 / SEC as f64);
+            }
+        }
+        None
+    }
+
     /// Utilization of the primary bottleneck.
     pub fn bottleneck_utilization(&self) -> f64 {
         self.links.first().map(|l| l.utilization).unwrap_or(0.0)
@@ -209,7 +280,25 @@ mod tests {
                 loss: 0.1,
             }],
             report: DefenseReport::default(),
+            samples: Vec::new(),
+            attack_start: None,
         }
+    }
+
+    /// Samples tracing: healthy baseline (1000 B/window), collapse after
+    /// the attack at 4 s, recovery from 8 s on.
+    fn sampled() -> Record {
+        let user_bytes = [1000, 2000, 3000, 4000, 4100, 4200, 4300, 5300, 6300, 7300];
+        let samples = user_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| GoodputSample {
+                at: (i as u64 + 1) * SEC,
+                user_bytes: b,
+                attacker_bytes: 0,
+            })
+            .collect();
+        Record { samples, attack_start: Some(4 * SEC), ..sample() }
     }
 
     #[test]
@@ -235,6 +324,38 @@ mod tests {
         // No attempts at all counts as complete.
         let empty = Record { roles: vec![], ..sample() };
         assert_eq!(empty.user_completion_ratio(), 1.0);
+    }
+
+    #[test]
+    fn reaction_time_measures_recovery_after_collapse() {
+        let r = sampled();
+        // Baseline 1000 B/s; collapse to 100 B/s at 4 s; first sustained
+        // ≥ 900 B window ends at 8 s → reaction 4 s.
+        assert_eq!(r.reaction_secs(), Some(4.0));
+    }
+
+    #[test]
+    fn reaction_time_needs_samples_attackers_and_recovery() {
+        assert_eq!(sample().reaction_secs(), None, "no samples, no metric");
+        let r = Record { attack_start: None, ..sampled() };
+        assert_eq!(r.reaction_secs(), None, "no attack, no metric");
+        let mut r = sampled();
+        // Chop the trace right after the collapse: goodput never recovers.
+        r.samples.truncate(7);
+        assert_eq!(r.reaction_secs(), None, "no recovery, no metric");
+    }
+
+    #[test]
+    fn reaction_time_ignores_transient_spikes() {
+        let mut r = sampled();
+        // One good window mid-collapse (5→6 s) followed by more collapse:
+        // the spike alone must not count as recovery.
+        let bytes = [1000, 2000, 3000, 4000, 4100, 5100, 5200, 5300, 6300, 7300];
+        for (s, &b) in r.samples.iter_mut().zip(bytes.iter()) {
+            s.user_bytes = b;
+        }
+        // True recovery only from 8 s on: first sustained window ends 9 s.
+        assert_eq!(r.reaction_secs(), Some(5.0), "spike at 6 s must not count");
     }
 
     #[test]

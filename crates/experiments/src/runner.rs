@@ -16,10 +16,11 @@
 //!
 //! [`DefenseReport`]: netfence_sim::deploy::DefenseReport
 
+use netfence_ctrl::service::CtrlService;
 use netfence_sim::prelude::*;
 use netfence_topo::{MultiBottleneckSpec, TransitStubSpec};
 
-use crate::record::{LinkStats, Record, Role, RoleSeries};
+use crate::record::{GoodputSample, LinkStats, Record, Role, RoleSeries};
 use crate::spec::{AttackTarget, DefenseContext, ScenarioSpec, SuppressionGroup, TopologySpec};
 use crate::topo::{BuiltTopo, TopoSpec};
 
@@ -139,7 +140,15 @@ impl Runner {
         };
         let factory = spec.defense.build(&ctx);
         let resolved = spec.defense.deployment.resolve_for_source_ases(&net, &source_ases);
-        let deployment = factory.deploy(&net, &resolved);
+        let mut deployment = factory.deploy(&net, &resolved);
+        // Route control messages through the asynchronous transport before
+        // the simulator drains the deploy-time traffic, so even the initial
+        // key announcements and filter requests see latency/loss/outages.
+        if let Some(ctrl_cfg) = &spec.control {
+            deployment
+                .bus
+                .install_channel(Box::new(CtrlService::for_network(&net, ctrl_cfg.clone())));
+        }
 
         let mut planned = Vec::with_capacity(2 * groups.len());
         for g in &groups {
@@ -198,11 +207,13 @@ impl Runner {
             SimConfig {
                 end_time: spec.scale.sim_time,
                 seed: spec.scale.seed,
+                sample_interval: spec.sample_interval,
                 ..Default::default()
             },
         );
 
         let mut flow_ids: Vec<Vec<FlowId>> = Vec::with_capacity(planned.len());
+        let mut attack_start: Option<Nanos> = None;
         for (g, group) in planned.iter().enumerate() {
             let role_spec = match group.role {
                 Role::User => &spec.users,
@@ -211,6 +222,9 @@ impl Runner {
             let mut ids = Vec::with_capacity(group.members.len());
             for (i, &(src, dst)) in group.members.iter().enumerate() {
                 let start = role_spec.start.start_of(i);
+                if group.role == Role::Attacker {
+                    attack_start = Some(attack_start.map_or(start, |a: Nanos| a.min(start)));
+                }
                 let seed = flow_seed(spec.scale.seed, g, i);
                 let traffic = role_spec.traffic;
                 ids.push(sim.add_flow(start, |id| traffic.make_flow(id, src, dst, seed)));
@@ -219,6 +233,30 @@ impl Runner {
         }
 
         sim.run();
+
+        // Fold the engine's per-flow samples into per-role cumulative
+        // series, using the planned groups' flow ids as the role map.
+        let user_flows: Vec<FlowId> = planned
+            .iter()
+            .zip(&flow_ids)
+            .filter(|(g, _)| g.role == Role::User)
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        let attacker_flows: Vec<FlowId> = planned
+            .iter()
+            .zip(&flow_ids)
+            .filter(|(g, _)| g.role == Role::Attacker)
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        let samples = sim
+            .samples()
+            .iter()
+            .map(|(at, per_flow)| GoodputSample {
+                at: *at,
+                user_bytes: user_flows.iter().map(|&f| per_flow[f]).sum(),
+                attacker_bytes: attacker_flows.iter().map(|&f| per_flow[f]).sum(),
+            })
+            .collect();
 
         let roles = planned
             .into_iter()
@@ -249,6 +287,8 @@ impl Runner {
             roles,
             links,
             report: sim.report(),
+            samples,
+            attack_start,
         }
     }
 }

@@ -26,6 +26,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::packet::{AsNum, HostAddr, LinkAddr, Packet};
 use crate::queue::QueueDisc;
@@ -75,6 +76,10 @@ pub enum Endpoint {
 pub struct ControlMsg {
     /// Destination agent.
     pub to: Endpoint,
+    /// Originating agent, when the message was queued from inside an agent
+    /// hook; `None` for deploy-time (controller-origin) messages. Transports
+    /// use this to locate the sender's AS.
+    pub from: Option<Endpoint>,
     /// Type-erased payload; the receiving agent downcasts to the message
     /// types it understands and ignores the rest.
     pub payload: Box<dyn Any>,
@@ -82,8 +87,42 @@ pub struct ControlMsg {
 
 impl std::fmt::Debug for ControlMsg {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ControlMsg {{ to: {:?} }}", self.to)
+        write!(f, "ControlMsg {{ to: {:?}, from: {:?} }}", self.to, self.from)
     }
+}
+
+/// The transport's decision for one control-plane message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelVerdict {
+    /// Deliver at absolute time `at` (times in the past are delivered
+    /// immediately), after `retransmits` lost attempts were recovered by
+    /// retransmission.
+    Deliver {
+        /// Absolute delivery time.
+        at: Nanos,
+        /// Lost attempts that were retransmitted before one got through.
+        retransmits: u32,
+    },
+    /// Every attempt (the original plus `retransmits` retries) was lost —
+    /// the message never arrives.
+    Lost {
+        /// Retransmissions spent before giving up.
+        retransmits: u32,
+    },
+}
+
+/// A pluggable control-plane transport: decides when (and whether) each
+/// queued message reaches its destination.
+///
+/// Without an installed channel the [`ControlPlane`] keeps its historical
+/// behavior — synchronous, reliable, zero-latency delivery. Installing a
+/// channel (see the `netfence-ctrl` crate) subjects every message to
+/// propagation latency, loss/retransmission and controller outages.
+pub trait ControlChannel: std::fmt::Debug {
+    /// Plan the fate of a message queued at simulated time `now` from
+    /// `from` (or `None` for deploy-time controller-origin messages) to
+    /// `to`.
+    fn plan(&mut self, now: Nanos, from: Option<Endpoint>, to: Endpoint) -> ChannelVerdict;
 }
 
 /// The out-of-band coordination bus of a deployment.
@@ -91,31 +130,65 @@ impl std::fmt::Debug for ControlMsg {
 /// Agents cannot reach into each other's state: anything that crosses a
 /// node boundary outside a packet — Passport AES key announcements, StopIt
 /// filter-installation requests — travels as a message. The engine drains
-/// the bus after every hook invocation, delivering at the current simulated
-/// time (control traffic is modelled as reliable and prompt; its bandwidth
-/// is negligible next to the data plane).
+/// the bus after every hook invocation. With no installed
+/// [`ControlChannel`] every message is delivered reliably at the current
+/// simulated time (control traffic modelled as reliable and prompt); an
+/// installed channel subjects messages to latency, loss and outages.
 #[derive(Debug, Default)]
 pub struct ControlPlane {
     outbox: Vec<ControlMsg>,
-    host_node: HashMap<HostAddr, NodeId>,
-    access_router: HashMap<HostAddr, NodeId>,
+    host_node: Arc<HashMap<HostAddr, NodeId>>,
+    access_router: Arc<HashMap<HostAddr, NodeId>>,
+    channel: Option<Box<dyn ControlChannel>>,
+    sender: Option<Endpoint>,
     /// Messages delivered to an agent.
     pub delivered: u64,
     /// Messages addressed to a legacy (agent-less) node and dropped — the
     /// partial-deployment failure mode (e.g. a StopIt filter request for a
     /// source whose AS never deployed).
     pub undeliverable: u64,
+    /// Transport-level retransmissions performed before messages got
+    /// through (zero without an installed channel).
+    pub retransmits: u64,
+    /// Messages lost in transit after exhausting retransmission (zero
+    /// without an installed channel).
+    pub lost: u64,
 }
 
 impl ControlPlane {
-    /// A control plane with the address books of `net`.
+    /// A control plane with the address books of `net` (shared, not
+    /// copied — deployments only read them).
     pub fn for_network(net: &Network) -> Self {
         ControlPlane {
-            outbox: Vec::new(),
-            host_node: net.host_index.clone(),
-            access_router: net.access_router.clone(),
-            delivered: 0,
-            undeliverable: 0,
+            host_node: Arc::clone(&net.host_index),
+            access_router: Arc::clone(&net.access_router),
+            ..ControlPlane::default()
+        }
+    }
+
+    /// Install a transport; subsequent messages go through its
+    /// [`ControlChannel::plan`] instead of the instant-reliable default.
+    pub fn install_channel(&mut self, channel: Box<dyn ControlChannel>) {
+        self.channel = Some(channel);
+    }
+
+    /// Whether a transport is installed.
+    pub fn has_channel(&self) -> bool {
+        self.channel.is_some()
+    }
+
+    /// Record which agent's hook is currently running, so queued messages
+    /// carry their origin. The engine maintains this; agents never call it.
+    pub fn set_sender(&mut self, sender: Option<Endpoint>) {
+        self.sender = sender;
+    }
+
+    /// Plan the fate of one message (engine-side). Without a channel this
+    /// is the degenerate instant-reliable verdict.
+    pub fn plan_delivery(&mut self, now: Nanos, msg: &ControlMsg) -> ChannelVerdict {
+        match &mut self.channel {
+            Some(ch) => ch.plan(now, msg.from, msg.to),
+            None => ChannelVerdict::Deliver { at: now, retransmits: 0 },
         }
     }
 
@@ -124,8 +197,11 @@ impl ControlPlane {
     pub fn to_host(&mut self, host: HostAddr, payload: impl Any) -> bool {
         match self.host_node.get(&host) {
             Some(&node) => {
-                self.outbox
-                    .push(ControlMsg { to: Endpoint::Host(node), payload: Box::new(payload) });
+                self.outbox.push(ControlMsg {
+                    to: Endpoint::Host(node),
+                    from: self.sender,
+                    payload: Box::new(payload),
+                });
                 true
             }
             None => false,
@@ -134,7 +210,11 @@ impl ControlPlane {
 
     /// Queue a message to the router agent at `node`.
     pub fn to_router(&mut self, node: NodeId, payload: impl Any) {
-        self.outbox.push(ControlMsg { to: Endpoint::Router(node), payload: Box::new(payload) });
+        self.outbox.push(ControlMsg {
+            to: Endpoint::Router(node),
+            from: self.sender,
+            payload: Box::new(payload),
+        });
     }
 
     /// Queue a message to the access router of `host` (how StopIt filter
@@ -143,8 +223,11 @@ impl ControlPlane {
     pub fn to_access_router_of(&mut self, host: HostAddr, payload: impl Any) -> bool {
         match self.access_router.get(&host) {
             Some(&node) => {
-                self.outbox
-                    .push(ControlMsg { to: Endpoint::Router(node), payload: Box::new(payload) });
+                self.outbox.push(ControlMsg {
+                    to: Endpoint::Router(node),
+                    from: self.sender,
+                    payload: Box::new(payload),
+                });
                 true
             }
             None => false,
@@ -497,6 +580,20 @@ pub struct DefenseReport {
     pub control_delivered: u64,
     /// Control-plane messages dropped at legacy nodes.
     pub control_undeliverable: u64,
+    /// Control-plane transport retransmissions (lossy channel only).
+    pub control_retransmits: u64,
+    /// Control-plane messages lost in transit after exhausting
+    /// retransmission (lossy/partitioned channel only).
+    pub control_lost: u64,
+    /// TTL'd policy rules (filters, keys, capabilities) installed into
+    /// policy stores.
+    pub rules_installed: u64,
+    /// Policy rules re-installed before their TTL lapsed (refreshes).
+    pub rules_refreshed: u64,
+    /// Policy rules that expired and were purged.
+    pub rules_expired: u64,
+    /// Policy-rule installs rejected by a store's capacity limit.
+    pub rules_rejected: u64,
 }
 
 impl Default for DefenseReport {
@@ -519,6 +616,12 @@ impl Default for DefenseReport {
             links_in_mon: Vec::new(),
             control_delivered: 0,
             control_undeliverable: 0,
+            control_retransmits: 0,
+            control_lost: 0,
+            rules_installed: 0,
+            rules_refreshed: 0,
+            rules_expired: 0,
+            rules_rejected: 0,
         }
     }
 }
@@ -605,6 +708,8 @@ impl Deployment {
             router_agents: self.routers.iter().flatten().count(),
             control_delivered: self.bus.delivered,
             control_undeliverable: self.bus.undeliverable,
+            control_retransmits: self.bus.retransmits,
+            control_lost: self.bus.lost,
             ..DefenseReport::default()
         };
         for shim in self.hosts.iter().flatten() {

@@ -29,7 +29,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::deploy::{
-    DefenseFactory, DefenseReport, Deployment, DeploymentSpec, Endpoint, LinkRef, RouterAction,
+    ChannelVerdict, ControlMsg, DefenseFactory, DefenseReport, Deployment, DeploymentSpec,
+    Endpoint, LinkRef, RouterAction,
 };
 use crate::flow::{Flow, FlowActions, FlowProgress};
 use crate::metrics::Metrics;
@@ -54,6 +55,10 @@ pub struct SimConfig {
     /// deterministic; flows draw their randomness from their own seeded
     /// generators).
     pub seed: u64,
+    /// Interval between per-flow goodput samples (see
+    /// [`Simulator::samples`]). `0` (the default) disables sampling and
+    /// adds no events at all.
+    pub sample_interval: Nanos,
 }
 
 impl Default for SimConfig {
@@ -63,6 +68,7 @@ impl Default for SimConfig {
             defense_tick: 100 * MILLI,
             link_poll_interval: 2 * MILLI,
             seed: 1,
+            sample_interval: 0,
         }
     }
 }
@@ -96,6 +102,14 @@ enum EventKind {
         pkt: Packet,
     },
     DefenseTick,
+    /// A control-plane message whose transport verdict deferred delivery
+    /// to a later simulated time (latency, retransmission, outage hold).
+    ControlDeliver {
+        msg: ControlMsg,
+    },
+    /// Record one per-flow goodput sample (only scheduled when
+    /// `sample_interval > 0`).
+    Sample,
 }
 
 #[derive(Debug)]
@@ -149,6 +163,7 @@ pub struct Simulator {
     seq: u64,
     now: Nanos,
     next_pkt_id: u64,
+    flow_samples: Vec<(Nanos, Vec<u64>)>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -199,6 +214,7 @@ impl Simulator {
             seq: 0,
             now: 0,
             next_pkt_id: 0,
+            flow_samples: Vec::new(),
         };
         // Deliver deploy-time coordination (e.g. the Passport key exchange
         // announcements) before anything moves.
@@ -260,6 +276,12 @@ impl Simulator {
         (self.flows[flow].src(), self.flows[flow].dst())
     }
 
+    /// Per-flow goodput samples: one `(time, delivered_bytes per flow id)`
+    /// entry every `sample_interval` (empty when sampling is off).
+    pub fn samples(&self) -> &[(Nanos, Vec<u64>)] {
+        &self.flow_samples
+    }
+
     fn schedule(&mut self, at: Nanos, kind: EventKind) {
         self.seq += 1;
         self.events.push(Scheduled { at: at.max(self.now), seq: self.seq, kind });
@@ -268,6 +290,9 @@ impl Simulator {
     /// Run the simulation to `cfg.end_time`.
     pub fn run(&mut self) {
         self.schedule(self.cfg.defense_tick, EventKind::DefenseTick);
+        if self.cfg.sample_interval > 0 {
+            self.schedule(self.cfg.sample_interval, EventKind::Sample);
+        }
         while let Some(ev) = self.events.pop() {
             if ev.at > self.cfg.end_time {
                 break;
@@ -280,11 +305,16 @@ impl Simulator {
         self.metrics.end_time = self.cfg.end_time;
     }
 
-    /// Deliver queued control-plane messages until the bus is quiet.
-    /// Delivery happens at the current simulated time: control traffic is
-    /// modelled as reliable and prompt relative to data-plane dynamics. A
-    /// generous round bound turns an agent pair ping-ponging messages at a
-    /// frozen timestamp into a diagnosable panic instead of a silent hang.
+    /// Route queued control-plane messages until the bus is quiet. Each
+    /// message is planned by the installed [`ControlChannel`] (or the
+    /// instant-reliable default): immediate verdicts deliver synchronously
+    /// at the current simulated time, deferred verdicts become
+    /// `ControlDeliver` events, and lost messages are counted and dropped.
+    /// A generous round bound turns an agent pair ping-ponging messages at
+    /// a frozen timestamp into a diagnosable panic instead of a silent
+    /// hang.
+    ///
+    /// [`ControlChannel`]: crate::deploy::ControlChannel
     fn drain_control(&mut self) {
         const MAX_ROUNDS: usize = 10_000;
         for round in 0.. {
@@ -299,24 +329,46 @@ impl Simulator {
                 return;
             }
             for msg in msgs {
-                let Deployment { hosts, routers, bus, .. } = &mut self.deployment;
-                match msg.to {
-                    Endpoint::Host(node) => match hosts[node.0].as_mut() {
-                        Some(shim) => {
-                            bus.delivered += 1;
-                            shim.on_control(self.now, msg.payload, bus);
+                let verdict = self.deployment.bus.plan_delivery(self.now, &msg);
+                match verdict {
+                    ChannelVerdict::Deliver { at, retransmits } => {
+                        self.deployment.bus.retransmits += retransmits as u64;
+                        if at <= self.now {
+                            self.deliver_control(msg);
+                        } else {
+                            self.schedule(at, EventKind::ControlDeliver { msg });
                         }
-                        None => bus.undeliverable += 1,
-                    },
-                    Endpoint::Router(node) => match routers[node.0].as_mut() {
-                        Some(agent) => {
-                            bus.delivered += 1;
-                            agent.on_control(self.now, msg.payload, bus);
-                        }
-                        None => bus.undeliverable += 1,
-                    },
+                    }
+                    ChannelVerdict::Lost { retransmits } => {
+                        self.deployment.bus.retransmits += retransmits as u64;
+                        self.deployment.bus.lost += 1;
+                    }
                 }
             }
+        }
+    }
+
+    /// Hand one control message to its destination agent (or count it as
+    /// undeliverable at a legacy node).
+    fn deliver_control(&mut self, msg: ControlMsg) {
+        let Deployment { hosts, routers, bus, .. } = &mut self.deployment;
+        match msg.to {
+            Endpoint::Host(node) => match hosts[node.0].as_mut() {
+                Some(shim) => {
+                    bus.delivered += 1;
+                    bus.set_sender(Some(Endpoint::Host(node)));
+                    shim.on_control(self.now, msg.payload, bus);
+                }
+                None => bus.undeliverable += 1,
+            },
+            Endpoint::Router(node) => match routers[node.0].as_mut() {
+                Some(agent) => {
+                    bus.delivered += 1;
+                    bus.set_sender(Some(Endpoint::Router(node)));
+                    agent.on_control(self.now, msg.payload, bus);
+                }
+                None => bus.undeliverable += 1,
+            },
         }
     }
 
@@ -332,11 +384,17 @@ impl Simulator {
             }
             EventKind::DefenseTick => {
                 let Deployment { hosts, routers, bus, .. } = &mut self.deployment;
-                for agent in routers.iter_mut().flatten() {
-                    agent.tick(self.now, bus);
+                for (i, agent) in routers.iter_mut().enumerate() {
+                    if let Some(agent) = agent {
+                        bus.set_sender(Some(Endpoint::Router(NodeId(i))));
+                        agent.tick(self.now, bus);
+                    }
                 }
-                for shim in hosts.iter_mut().flatten() {
-                    shim.tick(self.now, bus);
+                for (i, shim) in hosts.iter_mut().enumerate() {
+                    if let Some(shim) = shim {
+                        bus.set_sender(Some(Endpoint::Host(NodeId(i))));
+                        shim.tick(self.now, bus);
+                    }
                 }
                 if self.now + self.cfg.defense_tick <= self.cfg.end_time {
                     self.schedule(self.now + self.cfg.defense_tick, EventKind::DefenseTick);
@@ -353,9 +411,18 @@ impl Simulator {
             EventKind::ReleaseDelayed { node, out_link, mut pkt } => {
                 let Deployment { routers, bus, .. } = &mut self.deployment;
                 if let Some(agent) = routers[node.0].as_mut() {
+                    bus.set_sender(Some(Endpoint::Router(node)));
                     agent.on_delayed_release(self.now, &mut pkt, bus);
                 }
                 self.enqueue_on_link(out_link, pkt);
+            }
+            EventKind::ControlDeliver { msg } => self.deliver_control(msg),
+            EventKind::Sample => {
+                let sample = self.flows.iter().map(|f| f.progress().delivered_bytes).collect();
+                self.flow_samples.push((self.now, sample));
+                if self.now + self.cfg.sample_interval <= self.cfg.end_time {
+                    self.schedule(self.now + self.cfg.sample_interval, EventKind::Sample);
+                }
             }
         }
     }
@@ -374,6 +441,7 @@ impl Simulator {
             let node = self.net.host_node(pkt.src);
             let Deployment { hosts, bus, .. } = &mut self.deployment;
             if let Some(shim) = hosts[node.0].as_mut() {
+                bus.set_sender(Some(Endpoint::Host(node)));
                 shim.on_send(self.now, &mut pkt, bus);
             }
             self.forward_from(node, pkt);
@@ -390,6 +458,7 @@ impl Simulator {
             }
             let Deployment { hosts, bus, .. } = &mut self.deployment;
             if let Some(shim) = hosts[node.0].as_mut() {
+                bus.set_sender(Some(Endpoint::Host(node)));
                 shim.on_receive(self.now, &pkt, bus);
             }
             self.metrics.delivered_pkts += 1;
@@ -419,6 +488,7 @@ impl Simulator {
         let action = match routers[node.0].as_mut() {
             Some(agent) => {
                 let is_access = self.net.access_router_of(pkt.src) == Some(node);
+                bus.set_sender(Some(Endpoint::Router(node)));
                 agent.at_router(self.now, is_access, link, &mut pkt, bus)
             }
             // A legacy router forwards blindly.

@@ -42,9 +42,9 @@ pub mod webtraffic;
 /// Commonly used re-exports.
 pub mod prelude {
     pub use crate::deploy::{
-        ControlPlane, DefenseFactory, DefenseReport, DeployMap, Deployment, DeploymentBuilder,
-        DeploymentSpec, Endpoint, HostShim, LinkRef, NoDefense, Placement, QueueFactory,
-        RouterAction, RouterAgent,
+        ChannelVerdict, ControlChannel, ControlMsg, ControlPlane, DefenseFactory, DefenseReport,
+        DeployMap, Deployment, DeploymentBuilder, DeploymentSpec, Endpoint, HostShim, LinkRef,
+        NoDefense, Placement, QueueFactory, RouterAction, RouterAgent,
     };
     pub use crate::engine::{SimConfig, Simulator};
     pub use crate::flow::{Flow, FlowActions, FlowProgress};

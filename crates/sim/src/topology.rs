@@ -149,12 +149,14 @@ pub struct Network {
     pub nodes: Vec<Node>,
     /// All unidirectional links.
     pub links: Vec<LinkSpec>,
-    /// Host address → node index.
-    pub host_index: HashMap<HostAddr, NodeId>,
+    /// Host address → node index (shared with control planes, which only
+    /// read it — see [`ControlPlane::for_network`](crate::deploy::ControlPlane::for_network)).
+    pub host_index: std::sync::Arc<HashMap<HostAddr, NodeId>>,
     /// Per-node outgoing link indices.
     pub out_links: Vec<Vec<usize>>,
-    /// Each host's directly-attached (access) router.
-    pub access_router: HashMap<HostAddr, NodeId>,
+    /// Each host's directly-attached (access) router (shared like
+    /// [`Network::host_index`]).
+    pub access_router: std::sync::Arc<HashMap<HostAddr, NodeId>>,
     /// Host address → attachment (uplink/downlink/destination slot).
     host_attach: HashMap<HostAddr, HostAttach>,
     /// Per-node dense router slot (`NONE32` for hosts).
@@ -411,9 +413,9 @@ impl NetworkBuilder {
         Network {
             nodes,
             links,
-            host_index,
+            host_index: std::sync::Arc::new(host_index),
             out_links,
-            access_router,
+            access_router: std::sync::Arc::new(access_router),
             host_attach,
             router_slot,
             routes,

@@ -23,7 +23,12 @@
 //! deployment's [`ControlPlane`] bus: at deploy time every deploying AS
 //! posts a [`KeyAnnouncement`] (its Diffie–Hellman public value) to every
 //! deployed router agent, which derives and installs the shared key — the
-//! BGP-piggybacked exchange of §4.4, in message form. Nodes of
+//! BGP-piggybacked exchange of §4.4, in message form. With
+//! [`NetFenceDefense::key_ttl`] set, installed keys lapse unless the
+//! owning AS's designated announcer (its first deployed router) re-posts
+//! the announcement every `ttl / 2`; over a lossy or partitioned control
+//! plane a missed refresh uninstalls the key and that AS's traffic
+//! reverts to unverifiable until an announcement lands again. Nodes of
 //! non-deploying ASes get no agents at all; their traffic carries no
 //! NetFence header and is demoted to the legacy channel at deployed
 //! routers, which is the paper's adoption incentive (§5.3).
@@ -37,6 +42,7 @@ use netfence_core::config::Config;
 use netfence_core::endpoint::{ReceiverPolicy, ReceiverShim, SenderShim};
 use netfence_core::types::{AsId, FlowPair, HostId, LinkId};
 use netfence_crypto::AsKeyAgent;
+use netfence_ctrl::policy::PolicyStore;
 use netfence_sim::deploy::{
     ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
     QueueFactory, RouterAction, RouterAgent,
@@ -73,6 +79,9 @@ pub struct NetFenceDefense {
     priority_override: HashMap<HostAddr, u8>,
     /// Optional per-AS damage localization at bottleneck links (§4.5).
     as_policing_mode: Option<AsPolicingMode>,
+    /// Installed pairwise AS keys lapse after this long without a refresh
+    /// announcement (0 = permanent, the legacy behavior).
+    key_ttl: Nanos,
     seed: u64,
 }
 
@@ -85,6 +94,7 @@ impl NetFenceDefense {
             suppressed: Vec::new(),
             priority_override: HashMap::new(),
             as_policing_mode: None,
+            key_ttl: 0,
             seed: 0x4E46_4E46,
         }
     }
@@ -110,6 +120,14 @@ impl NetFenceDefense {
     /// Enable per-AS damage localization at every bottleneck link.
     pub fn enable_as_policing(&mut self, mode: AsPolicingMode) {
         self.as_policing_mode = Some(mode);
+    }
+
+    /// Make installed pairwise AS keys lapse after `ttl` without a refresh
+    /// (0 restores the legacy permanent keys). Each deploying AS's
+    /// designated announcer re-posts its [`KeyAnnouncement`] every
+    /// `ttl / 2` over the control plane.
+    pub fn key_ttl(&mut self, ttl: Nanos) {
+        self.key_ttl = ttl;
     }
 
     /// The deterministic key agent of a deploying AS.
@@ -148,11 +166,25 @@ impl DefenseFactory for NetFenceDefense {
         }));
 
         // Router agents for every router in a deploying AS.
-        let mut agent_nodes: Vec<NodeId> = Vec::new();
-        for (i, node) in net.nodes.iter().enumerate() {
-            if node.host_addr().is_some() || !map.node(NodeId(i)) {
-                continue;
+        let agent_nodes: Vec<NodeId> = net
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, node)| node.host_addr().is_none() && map.node(NodeId(i)))
+            .map(|(i, _)| NodeId(i))
+            .collect();
+        // With a key TTL, each deploying AS's first router doubles as its
+        // designated announcer, re-posting the AS's public value every
+        // `ttl / 2` so installed keys stay refreshed.
+        let mut announcer_of: HashMap<AsNum, NodeId> = HashMap::new();
+        if self.key_ttl > 0 {
+            for &node in &agent_nodes {
+                announcer_of.entry(net.nodes[node.0].as_num()).or_insert(node);
             }
+        }
+        for &node_id in &agent_nodes {
+            let i = node_id.0;
+            let node = &net.nodes[i];
             let as_num = node.as_num();
             let access = if node.is_access_router() {
                 let mut ka_root = [0u8; 16];
@@ -192,17 +224,25 @@ impl DefenseFactory for NetFenceDefense {
                     as_policers.push((li, AsPolicer::new(mode, spec.capacity, 0)));
                 }
             }
+            let announcer = (announcer_of.get(&as_num) == Some(&node_id)).then(|| KeyAnnouncer {
+                asn: as_num,
+                public_value: self.key_agent(as_num).public_value(),
+                peers: agent_nodes.clone(),
+                interval: (self.key_ttl / 2).max(1),
+                last: 0,
+            });
             builder.router_agent(
-                NodeId(i),
+                node_id,
                 Box::new(NetFenceRouterAgent {
                     access,
                     bottlenecks,
                     as_policers,
                     key_agent: self.key_agent(as_num),
+                    keys: PolicyStore::new(self.key_ttl, 0),
+                    announcer,
                     stats: AgentStats::default(),
                 }),
             );
-            agent_nodes.push(NodeId(i));
         }
 
         // Host shims for every host in a deploying AS.
@@ -329,6 +369,21 @@ impl HostShim for NetFenceHostShim {
     }
 }
 
+/// The designated key announcer of one deploying AS: re-posts the AS's
+/// public value to every deployed router every `interval` so TTL'd keys
+/// stay refreshed (the periodic BGP re-advertisement of §4.4).
+#[derive(Debug)]
+struct KeyAnnouncer {
+    asn: AsNum,
+    public_value: u64,
+    /// Every deployed router agent (snapshot at deploy time).
+    peers: Vec<NodeId>,
+    /// Re-announce cadence (`key_ttl / 2`).
+    interval: Nanos,
+    /// When the last announcement was posted (deploy time = 0).
+    last: Nanos,
+}
+
 /// The NetFence agent of one deployed router: access-router protocol state
 /// (when the node is an access router) plus per-outgoing-link bottleneck
 /// state.
@@ -341,6 +396,12 @@ struct NetFenceRouterAgent {
     /// Per-AS damage localization per outgoing link (§4.5), when enabled.
     as_policers: Vec<(usize, AsPolicer)>,
     key_agent: AsKeyAgent,
+    /// TTL bookkeeping for installed pairwise keys; expired peers are
+    /// uninstalled from the access router and bottleneck key tables on
+    /// the next tick.
+    keys: PolicyStore<AsNum>,
+    /// Present on the AS's designated announcer when a key TTL is set.
+    announcer: Option<KeyAnnouncer>,
     stats: AgentStats,
 }
 
@@ -454,8 +515,9 @@ impl RouterAgent for NetFenceRouterAgent {
         }
     }
 
-    fn on_control(&mut self, _now: Nanos, msg: Box<dyn std::any::Any>, _ctl: &mut ControlPlane) {
+    fn on_control(&mut self, now: Nanos, msg: Box<dyn std::any::Any>, _ctl: &mut ControlPlane) {
         let Some(ann) = msg.downcast_ref::<KeyAnnouncement>() else { return };
+        self.keys.insert(now, ann.asn);
         let key = self.key_agent.shared_key(ann.asn, ann.public_value);
         if let Some(access) = self.access.as_mut() {
             access.install_as_key(AsId(ann.asn), key);
@@ -465,12 +527,35 @@ impl RouterAgent for NetFenceRouterAgent {
         }
     }
 
-    fn tick(&mut self, now: Nanos, _ctl: &mut ControlPlane) {
+    fn tick(&mut self, now: Nanos, ctl: &mut ControlPlane) {
         if let Some(access) = self.access.as_mut() {
             access.tick(now);
         }
         for (_, bl) in self.bottlenecks.iter_mut() {
             bl.tick(now);
+        }
+        // Uninstall keys whose TTL lapsed without a refresh landing: the
+        // peer's traffic reverts to unverifiable (no L↓ can be stamped for
+        // it) until a fresh announcement arrives.
+        for asn in self.keys.purge(now) {
+            if let Some(access) = self.access.as_mut() {
+                access.remove_as_key(AsId(asn));
+            }
+            for (_, bl) in self.bottlenecks.iter_mut() {
+                bl.remove_as_key(AsId(asn));
+            }
+        }
+        // The designated announcer re-posts its AS's public value over the
+        // control plane; under latency, loss or an outage the refresh may
+        // land late (or never), which is exactly what the TTL punishes.
+        if let Some(a) = self.announcer.as_mut() {
+            if now >= a.last + a.interval {
+                a.last = now;
+                let ann = KeyAnnouncement { asn: a.asn, public_value: a.public_value };
+                for &peer in &a.peers {
+                    ctl.to_router(peer, ann);
+                }
+            }
         }
     }
 
@@ -479,6 +564,10 @@ impl RouterAgent for NetFenceRouterAgent {
         out.regular_drops += self.stats.regular_drops;
         out.as_policer_drops += self.stats.as_policer_drops;
         out.stamped_decr += self.stats.stamped_decr;
+        out.rules_installed += self.keys.stats.installed;
+        out.rules_refreshed += self.keys.stats.refreshed;
+        out.rules_expired += self.keys.stats.expired;
+        out.rules_rejected += self.keys.stats.rejected;
         if let Some(access) = &self.access {
             out.rate_limiters += access.limiter_count();
         }
@@ -640,6 +729,43 @@ mod tests {
         let p = sim.progress(user);
         assert!(p.completions.len() > 20);
         assert!(p.avg_transfer_secs().unwrap() < 3.0);
+    }
+
+    #[test]
+    fn ttl_keys_stay_refreshed_over_a_healthy_control_plane() {
+        // With a key TTL, designated announcers re-post every ttl/2 over
+        // the (ideal) control plane: keys are continually refreshed, none
+        // lapse, and the defense still polices the flood.
+        let (net, _) = small_net(1_000_000);
+        let mut defense = NetFenceDefense::new(Config::short_timers());
+        defense.key_ttl(2 * SEC);
+        let deployment = deploy_full(&net, &defense);
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 60 * SEC, ..Default::default() });
+        let user = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                USER,
+                VICTIM,
+                TcpWorkload::LongRunning,
+                TcpConfig::default(),
+                SimRng::new(1),
+            ))
+        });
+        let attacker =
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, COLLUDER, 1_000_000)));
+        sim.run();
+        let report = sim.report();
+        assert!(report.rules_installed >= 3, "installed: {}", report.rules_installed);
+        assert!(report.rules_refreshed > 50, "refreshed: {}", report.rules_refreshed);
+        assert_eq!(report.rules_expired, 0, "no key may lapse on an ideal channel");
+        assert!(report.stamped_decr > 0, "refreshed keys must keep L↓ stamping alive");
+        let user_bps = sim.progress(user).goodput_bps(0, 60 * SEC);
+        let attacker_bps = sim.progress(attacker).goodput_bps(0, 60 * SEC);
+        assert!(
+            user_bps / attacker_bps.max(1.0) > 0.5,
+            "user {user_bps:.0} bps vs attacker {attacker_bps:.0} bps"
+        );
     }
 
     #[test]

@@ -13,9 +13,17 @@
 //! install filters (e.g. colluding receivers), StopIt falls back to
 //! two-level hierarchical fair queuing (source AS, then source host) at
 //! congested links.
+//!
+//! Filters live in a TTL'd [`PolicyStore`]: with
+//! [`StopItDefense::filter_ttl`] set, an installed filter lapses unless the
+//! victim's refresh request lands in time — and the victim only re-requests
+//! when leaked traffic reaches it again, so an expired filter *is* visible
+//! as a resumed flood until the refresh crosses the control plane. The
+//! default TTL of 0 keeps the legacy permanent-filter behavior.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
+use netfence_ctrl::policy::PolicyStore;
 use netfence_sim::deploy::{
     ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
     QueueFactory, RouterAction, RouterAgent,
@@ -48,6 +56,11 @@ pub struct StopItDefense {
     /// Whether inter-router links use the hierarchical fair-queuing
     /// fallback.
     hierarchical_fallback: bool,
+    /// Installed filters lapse after this long without a refresh
+    /// (0 = permanent, the legacy behavior).
+    filter_ttl: Nanos,
+    /// Per-router filter-table capacity (0 = unbounded).
+    filter_capacity: usize,
 }
 
 impl StopItDefense {
@@ -72,6 +85,19 @@ impl StopItDefense {
     /// deploy time).
     pub fn install_filter(&mut self, src: HostAddr, dst: HostAddr) {
         self.preinstalled.push(FilterRequest { src, dst });
+    }
+
+    /// Make installed filters lapse after `ttl` without a refresh
+    /// (0 restores the legacy permanent filters). Victims re-request a
+    /// filter when leaked traffic reaches them again.
+    pub fn filter_ttl(&mut self, ttl: Nanos) {
+        self.filter_ttl = ttl;
+    }
+
+    /// Cap each router's filter table (0 = unbounded). Requests beyond the
+    /// cap are rejected and counted.
+    pub fn filter_capacity(&mut self, capacity: usize) {
+        self.filter_capacity = capacity;
     }
 }
 
@@ -106,7 +132,10 @@ impl DefenseFactory for StopItDefense {
             }
             builder.router_agent(
                 NodeId(i),
-                Box::new(StopItRouterAgent { filters: HashSet::new(), filtered_drops: 0 }),
+                Box::new(StopItRouterAgent {
+                    filters: PolicyStore::new(self.filter_ttl, self.filter_capacity),
+                    filtered_drops: 0,
+                }),
             );
         }
         for host in net.hosts() {
@@ -120,7 +149,8 @@ impl DefenseFactory for StopItDefense {
                 Box::new(StopItHostShim {
                     auto_filter: self.auto_filter_victims.contains(&host),
                     whitelist,
-                    requested: HashSet::new(),
+                    requested: HashMap::new(),
+                    filter_ttl: self.filter_ttl,
                 }),
             );
         }
@@ -155,38 +185,59 @@ impl QueueFactory for StopItQueues {
 struct StopItHostShim {
     auto_filter: bool,
     whitelist: HashSet<HostAddr>,
-    /// Senders a request was already filed against (requests are modelled
-    /// as reliable, so one suffices).
-    requested: HashSet<HostAddr>,
+    /// Sender → time of the last filed request. With permanent filters
+    /// (ttl 0) one request suffices; with a TTL the victim re-requests
+    /// when leaked traffic shows the filter lapsed.
+    requested: HashMap<HostAddr, Nanos>,
+    filter_ttl: Nanos,
+}
+
+impl StopItHostShim {
+    /// Whether to file a (re-)request against `src` at `now`.
+    fn should_request(&mut self, now: Nanos, src: HostAddr) -> bool {
+        match self.requested.get_mut(&src) {
+            None => {
+                self.requested.insert(src, now);
+                true
+            }
+            Some(last) if self.filter_ttl > 0 && now >= *last + self.filter_ttl / 2 => {
+                *last = now;
+                true
+            }
+            Some(_) => false,
+        }
+    }
 }
 
 impl HostShim for StopItHostShim {
-    fn on_receive(&mut self, _now: Nanos, pkt: &Packet, ctl: &mut ControlPlane) {
-        if self.auto_filter && !self.whitelist.contains(&pkt.src) && self.requested.insert(pkt.src)
+    fn on_receive(&mut self, now: Nanos, pkt: &Packet, ctl: &mut ControlPlane) {
+        if self.auto_filter
+            && !self.whitelist.contains(&pkt.src)
+            && self.should_request(now, pkt.src)
         {
             ctl.to_access_router_of(pkt.src, FilterRequest { src: pkt.src, dst: pkt.dst });
         }
     }
 }
 
-/// The StopIt agent of one deployed router: the filters installed at this
-/// router (populated by [`FilterRequest`] messages).
+/// The StopIt agent of one deployed router: the TTL'd filter store
+/// populated by [`FilterRequest`] messages.
 #[derive(Debug)]
 struct StopItRouterAgent {
-    filters: HashSet<(HostAddr, HostAddr)>,
+    filters: PolicyStore<(HostAddr, HostAddr)>,
     filtered_drops: u64,
 }
 
 impl RouterAgent for StopItRouterAgent {
     fn at_router(
         &mut self,
-        _now: Nanos,
+        now: Nanos,
         is_access: bool,
         _out_link: LinkRef,
         pkt: &mut Packet,
         _ctl: &mut ControlPlane,
     ) -> RouterAction {
-        if is_access && self.filters.contains(&(pkt.src, pkt.dst)) {
+        if is_access && self.filters.contains(now, &(pkt.src, pkt.dst)) {
             self.filtered_drops += 1;
             RouterAction::Drop
         } else {
@@ -194,15 +245,23 @@ impl RouterAgent for StopItRouterAgent {
         }
     }
 
-    fn on_control(&mut self, _now: Nanos, msg: Box<dyn std::any::Any>, _ctl: &mut ControlPlane) {
+    fn on_control(&mut self, now: Nanos, msg: Box<dyn std::any::Any>, _ctl: &mut ControlPlane) {
         if let Some(req) = msg.downcast_ref::<FilterRequest>() {
-            self.filters.insert((req.src, req.dst));
+            self.filters.insert(now, (req.src, req.dst));
         }
+    }
+
+    fn tick(&mut self, now: Nanos, _ctl: &mut ControlPlane) {
+        self.filters.purge(now);
     }
 
     fn report(&self, out: &mut DefenseReport) {
         out.filters += self.filters.len();
         out.filtered_drops += self.filtered_drops;
+        out.rules_installed += self.filters.stats.installed;
+        out.rules_refreshed += self.filters.stats.refreshed;
+        out.rules_expired += self.filters.stats.expired;
+        out.rules_rejected += self.filters.stats.rejected;
     }
 }
 
@@ -291,6 +350,42 @@ mod tests {
         assert!(attacker_bps < 650_000.0, "attacker {attacker_bps:.0}");
         assert!(user_bps > 250_000.0, "user {user_bps:.0}");
         assert_eq!(sim.report().filters, 0);
+    }
+
+    #[test]
+    fn ttl_filters_lapse_and_leaked_traffic_refiles_them() {
+        // With a 2 s filter TTL the victim stops refreshing while the
+        // filter works (nothing arrives), so it lapses, the flood leaks
+        // through, and the leak itself triggers the re-request — repeat.
+        let run = |ttl| {
+            let mut d = StopItDefense::new();
+            d.auto_filter(VICTIM);
+            d.filter_ttl(ttl);
+            let net = net();
+            let deployment = d.deploy(&net, &DeploymentSpec::full());
+            let mut sim = Simulator::new(
+                net,
+                deployment,
+                SimConfig { end_time: 30 * SEC, ..Default::default() },
+            );
+            let attacker =
+                sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, ATTACKER, VICTIM, 1_000_000)));
+            sim.run();
+            (sim.report(), sim.progress(attacker).goodput_bps(0, 30 * SEC))
+        };
+        let (permanent, permanent_bps) = run(0);
+        assert_eq!(permanent.rules_installed, 1);
+        assert_eq!(permanent.rules_expired, 0);
+        let (ttl, ttl_bps) = run(2 * SEC);
+        assert!(ttl.rules_expired >= 2, "filters never lapsed: {ttl:?}");
+        assert!(
+            ttl.rules_installed + ttl.rules_refreshed >= 3,
+            "leaks never refiled the filter: {ttl:?}"
+        );
+        // Leak windows let more attack traffic through than permanent
+        // filters, but the refreshed filter keeps the flood mostly blocked.
+        assert!(ttl_bps > permanent_bps, "{ttl_bps} vs {permanent_bps}");
+        assert!(ttl_bps < 500_000.0, "flood effectively unblocked: {ttl_bps:.0} bps");
     }
 
     #[test]

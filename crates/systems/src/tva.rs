@@ -26,6 +26,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use netfence_ctrl::policy::PolicyStore;
 use netfence_sim::deploy::{
     ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
     QueueFactory, RouterAction, RouterAgent,
@@ -37,11 +38,11 @@ use netfence_sim::topology::{LinkSpec, Network, NodeId};
 
 use crate::headers::TvaExt;
 
-/// How long a granted capability remains valid.
+/// Default validity of a granted capability.
 const CAPABILITY_LIFETIME: Nanos = 10 * SEC;
 
 /// The TVA+ defense factory.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TvaDefense {
     /// Receivers that refuse to grant capabilities to non-whitelisted
     /// senders (victims).
@@ -49,12 +50,33 @@ pub struct TvaDefense {
     /// Senders explicitly allowed at a deny-by-default receiver:
     /// (sender, receiver).
     whitelist: HashSet<(HostAddr, HostAddr)>,
+    /// How long a granted capability remains valid before the sender must
+    /// obtain a fresh grant.
+    capability_lifetime: Nanos,
+}
+
+impl Default for TvaDefense {
+    fn default() -> Self {
+        TvaDefense {
+            deny_by_default: HashSet::new(),
+            whitelist: HashSet::new(),
+            capability_lifetime: CAPABILITY_LIFETIME,
+        }
+    }
 }
 
 impl TvaDefense {
     /// Create a TVA+ factory.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Change how long granted capabilities stay valid (default 10 s).
+    /// Senders whose reverse traffic stalls — e.g. during a control-plane
+    /// outage at the receiver's AS — lose the regular channel when the
+    /// grant lapses and must re-request.
+    pub fn capability_lifetime(&mut self, lifetime: Nanos) {
+        self.capability_lifetime = lifetime;
     }
 
     /// Make `victim` refuse capabilities to all senders except those
@@ -109,7 +131,7 @@ impl DefenseFactory for TvaDefense {
                 Box::new(TvaHostShim {
                     deny_by_default: self.deny_by_default.contains(&host),
                     whitelist,
-                    granted: HashMap::new(),
+                    granted: PolicyStore::new(self.capability_lifetime, 0),
                     held: HashMap::new(),
                 }),
             );
@@ -147,8 +169,10 @@ struct TvaHostShim {
     deny_by_default: bool,
     /// Senders this receiver always grants.
     whitelist: HashSet<HostAddr>,
-    /// Capabilities granted by this receiver: peer sender → expiry.
-    granted: HashMap<HostAddr, Nanos>,
+    /// Capabilities granted by this receiver, TTL'd by the configured
+    /// lifetime; lapsed grants are purged on tick and counted in the
+    /// report's `rules_expired`.
+    granted: PolicyStore<HostAddr>,
     /// Capabilities this sender holds: destination → expiry (learned from
     /// grants piggybacked on reverse traffic).
     held: HashMap<HostAddr, Nanos>,
@@ -164,7 +188,7 @@ impl HostShim for TvaHostShim {
     fn on_send(&mut self, now: Nanos, pkt: &mut Packet, _ctl: &mut ControlPlane) {
         // Piggyback this host's (still valid) grant for the destination, so
         // the destination learns it may send back on the regular channel.
-        let grant = self.granted.get(&pkt.dst).copied().filter(|&exp| exp > now);
+        let grant = self.granted.expiry_of(&pkt.dst).filter(|&exp| exp > now);
         let cap = self.held.get(&pkt.dst).copied().filter(|&exp| exp > now);
         let ext = if let Some(exp) = cap {
             pkt.channel = ChannelClass::Regular;
@@ -182,7 +206,7 @@ impl HostShim for TvaHostShim {
         //    sender; the grant travels back inside this host's own reverse
         //    traffic.
         if self.wants(pkt.src) {
-            self.granted.insert(pkt.src, now + CAPABILITY_LIFETIME);
+            self.granted.insert(now, pkt.src);
         }
         // 2. A grant piggybacked on the arriving packet delivers the
         //    capability for the reverse direction.
@@ -193,8 +217,16 @@ impl HostShim for TvaHostShim {
         }
     }
 
+    fn tick(&mut self, now: Nanos, _ctl: &mut ControlPlane) {
+        self.granted.purge(now);
+    }
+
     fn report(&self, out: &mut DefenseReport) {
         out.capabilities_granted += self.granted.len();
+        out.rules_installed += self.granted.stats.installed;
+        out.rules_refreshed += self.granted.stats.refreshed;
+        out.rules_expired += self.granted.stats.expired;
+        out.rules_rejected += self.granted.stats.rejected;
     }
 }
 
@@ -290,6 +322,37 @@ mod tests {
         let p = sim.progress(user);
         assert!(p.completions.len() > 30, "completions {}", p.completions.len());
         assert!(p.avg_transfer_secs().unwrap() < 1.5);
+    }
+
+    #[test]
+    fn idle_grants_lapse_and_senders_re_request() {
+        // Capability lifetime 2 s, transfer gap 5 s: every grant expires
+        // between transfers, so each transfer re-enters via the request
+        // channel and a fresh grant is installed — transfers keep
+        // completing regardless.
+        let mut d = TvaDefense::new();
+        d.capability_lifetime(2 * SEC);
+        let net = net();
+        let deployment = d.deploy(&net, &DeploymentSpec::full());
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: 30 * SEC, ..Default::default() });
+        let user = sim.add_flow(0, |id| {
+            Box::new(TcpFlow::new(
+                id,
+                USER,
+                VICTIM,
+                TcpWorkload::RepeatedFile { bytes: 20_000, gap: 5 * SEC },
+                TcpConfig::default(),
+                SimRng::new(1),
+            ))
+        });
+        sim.run();
+        let p = sim.progress(user);
+        assert!(p.completions.len() >= 3, "completions {}", p.completions.len());
+        assert_eq!(p.failed_transfers, 0);
+        let report = sim.report();
+        assert!(report.rules_expired >= 2, "expired: {}", report.rules_expired);
+        assert!(report.rules_installed >= 3, "installed: {}", report.rules_installed);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Scenario example: what a control-plane outage costs a closed-loop
+//! defense.
+//!
+//! StopIt blocks an unwanted flood by installing filters at the attackers'
+//! access routers — but the filter requests travel over the control plane.
+//! The bottleneck is provisioned *below* the users' demand (30 kbps per
+//! sender vs 50 kbps CBR users), so StopIt's control-free fair-queuing
+//! tier alone cannot restore the users: recovery waits for the filters.
+//! The same delayed-attack scenario then runs under three control-plane
+//! qualities (ideal, 100 ms latency, and a controller outage that starts
+//! the moment the attack begins) and reports the defense *reaction time*:
+//! attack start → legitimate goodput back above 90% of its pre-attack
+//! baseline.
+//!
+//! Run with: `cargo run --release --example control_plane_outage`
+
+use netfence::ctrl::prelude::*;
+use netfence::experiments::prelude::*;
+use netfence::sim::time::{Nanos, MILLI, SEC};
+
+const ATTACK_START: Nanos = 8 * SEC;
+
+fn spec(ctrl: CtrlConfig) -> ScenarioSpec {
+    let scale = Scale { src_ases: 2, hosts_per_as: 3, sim_time: 48 * SEC, seed: 5 };
+    ScenarioSpec::dumbbell(scale)
+        .named("control-plane-outage")
+        .defense(DefenseKind::StopIt)
+        .fair_share(30_000)
+        .legit_per_as(1)
+        .users(TrafficSpec::cbr(50_000))
+        .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Victim)
+        .attacker_start(StartSchedule::delayed(ATTACK_START))
+        .control(ctrl)
+        .sampled(SEC)
+}
+
+fn main() {
+    println!("StopIt vs an unwanted flood starting at {} s, 48 s simulated.\n", ATTACK_START / SEC);
+    let cases = [
+        ("ideal control plane", CtrlConfig::ideal()),
+        ("100 ms latency", CtrlConfig::ideal().latency(100 * MILLI)),
+        ("outage 8 s - 18 s", CtrlConfig::ideal().outage(ATTACK_START, ATTACK_START + 10 * SEC)),
+    ];
+    for (label, cfg) in cases {
+        let r = Runner::new(spec(cfg)).run();
+        let reaction = match r.reaction_secs() {
+            Some(s) => format!("{s:>5.1} s"),
+            None => "never".to_string(),
+        };
+        println!(
+            "  {:<20} reaction: {}   user goodput: {:>5.1} kbps   control retx: {:>2}  lost: {:>2}",
+            label,
+            reaction,
+            r.avg_user_bps() / 1000.0,
+            r.report.control_retransmits,
+            r.report.control_lost,
+        );
+    }
+    println!(
+        "\nThe outage covers the attack instant: the victim's filter requests only land\nonce sessions reconnect, so the flood runs unchecked for the whole dark window."
+    );
+}

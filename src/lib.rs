@@ -11,6 +11,7 @@
 //! | [`crypto`] | Software AES-128, AES-CMAC, Passport-style key exchange |
 //! | [`sim`] | Deterministic packet-level discrete-event simulator |
 //! | [`topo`] | Internet-scale topology generation (`TopoSpec` → `BuiltTopo`) |
+//! | [`ctrl`] | Asynchronous control-plane transport (latency, loss, outages, TTL'd rules) |
 //! | [`systems`] | NetFence / TVA+ / StopIt / FQ bound to the simulator |
 //! | [`experiments`] | Declarative `ScenarioSpec` → `Runner` → `Record` API |
 //!
@@ -32,6 +33,7 @@
 
 pub use netfence_core as core;
 pub use netfence_crypto as crypto;
+pub use netfence_ctrl as ctrl;
 pub use netfence_experiments as experiments;
 pub use netfence_sim as sim;
 pub use netfence_systems as systems;
