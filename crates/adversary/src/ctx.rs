@@ -1,0 +1,77 @@
+//! The per-agent context a strategy is instantiated with.
+
+use netfence_sim::packet::HostAddr;
+use netfence_sim::time::{Nanos, SEC};
+
+/// Everything one attack agent knows about the scenario it runs in,
+/// resolved by the experiment runner at spawn time.
+///
+/// The context is what makes strategies *portable* across topologies: a
+/// strategy never hard-codes addresses or defense parameters — it reads the
+/// victim, its assigned colluder, the ring of per-group attack targets (for
+/// rolling across bottlenecks) and the defense's AIMD control interval (for
+/// shrew tuning) from here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyCtx {
+    /// Seed of this agent's dedicated RNG stream. Derived by the runner
+    /// from an attacker-only substream of the scenario seed, so attacker
+    /// count and strategy choice never perturb legitimate flows.
+    pub seed: u64,
+    /// This agent's index within its role group (drives per-member
+    /// assignments such as colluder pairing).
+    pub member: usize,
+    /// The victim destination of the agent's group.
+    pub victim: HostAddr,
+    /// The colluding receiver paired with this agent, when the topology
+    /// provides one.
+    pub colluder: Option<HostAddr>,
+    /// The attack destinations of *all* groups in spawn order, deduplicated
+    /// — the ring a [`Rolling`](crate::AttackStrategy::Rolling) agent walks
+    /// to shift the flood across bottlenecks. Always non-empty.
+    pub ring: Vec<HostAddr>,
+    /// The rate limiter's AIMD control interval (`Ilim` in the paper's
+    /// Figure 3), the period shrew pulses tune themselves to.
+    pub aimd_interval: Nanos,
+}
+
+impl StrategyCtx {
+    /// A minimal context targeting only `victim` — used by tests and by
+    /// callers outside the experiment runner.
+    pub fn for_victim(seed: u64, victim: HostAddr) -> Self {
+        StrategyCtx {
+            seed,
+            member: 0,
+            victim,
+            colluder: None,
+            ring: vec![victim],
+            aimd_interval: 2 * SEC,
+        }
+    }
+
+    /// The ring position of `dst`, or 0 when `dst` is not a ring member.
+    pub fn ring_position(&self, dst: HostAddr) -> usize {
+        self.ring.iter().position(|&t| t == dst).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_context_targets_the_victim() {
+        let ctx = StrategyCtx::for_victim(7, 42);
+        assert_eq!(ctx.victim, 42);
+        assert_eq!(ctx.ring, vec![42]);
+        assert_eq!(ctx.colluder, None);
+        assert_eq!(ctx.aimd_interval, 2 * SEC);
+    }
+
+    #[test]
+    fn ring_position_defaults_to_zero() {
+        let mut ctx = StrategyCtx::for_victim(7, 42);
+        ctx.ring = vec![10, 20, 30];
+        assert_eq!(ctx.ring_position(20), 1);
+        assert_eq!(ctx.ring_position(99), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The declarative strategy vocabulary.
+
+use netfence_sim::flow::Flow;
+use netfence_sim::packet::{FlowId, HostAddr};
+use netfence_sim::time::{Nanos, SEC};
+
+use crate::agent::AdversaryFlow;
+use crate::ctx::StrategyCtx;
+
+/// A fixed attack load — the legacy `TrafficSpec` attacker behaviors,
+/// wrapped so [`AttackStrategy::Static`] can reproduce them byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackLoad {
+    /// Constant-bit-rate UDP flood.
+    Cbr {
+        /// Sending rate, bits per second.
+        rate_bps: u64,
+    },
+    /// Synchronized on-off UDP bursts (§5.2.1).
+    OnOff {
+        /// Burst rate, bits per second.
+        rate_bps: u64,
+        /// Burst length.
+        on: Nanos,
+        /// Silence length.
+        off: Nanos,
+    },
+}
+
+/// How a [`AttackStrategy::Shrew`] agent times its pulses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShrewTiming {
+    /// Tune the duty cycle to the defense's AIMD control interval from the
+    /// [`StrategyCtx`]: one burst of `Ilim/4` per control interval, so
+    /// every interval observes congestion (and decreases the rate limit)
+    /// while the attacker's average rate stays at a quarter of its burst
+    /// rate.
+    Tuned,
+    /// Explicit pulse timing — the degenerate wrapper for figure scenarios
+    /// that sweep `Ton`/`Toff` themselves.
+    Fixed {
+        /// Burst length.
+        on: Nanos,
+        /// Silence length.
+        off: Nanos,
+    },
+}
+
+impl ShrewTiming {
+    /// Resolve to a concrete `(on, off)` pair against `aimd_interval`.
+    pub fn resolve(&self, aimd_interval: Nanos) -> (Nanos, Nanos) {
+        match *self {
+            ShrewTiming::Tuned => {
+                let ilim = aimd_interval.max(4);
+                (ilim / 4, ilim - ilim / 4)
+            }
+            ShrewTiming::Fixed { on, off } => (on, off),
+        }
+    }
+}
+
+/// One attacker strategy: what a stateful attack agent does over the run.
+///
+/// Strategies are pure descriptions (`Copy`, comparable, hashable into
+/// sweep grids); [`AttackStrategy::build_flow`] instantiates the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackStrategy {
+    /// A fixed load for the whole run — exactly the legacy attacker spec.
+    Static(AttackLoad),
+    /// Low-rate shrew pulses tuned to the rate limiter's AIMD period.
+    Shrew {
+        /// Burst rate, bits per second.
+        rate_bps: u64,
+        /// Pulse timing.
+        timing: ShrewTiming,
+    },
+    /// Shift the flood across the scenario's attack-target ring — on a
+    /// multi-bottleneck mesh that moves the full attack force from one
+    /// bottleneck to the next every `dwell`, faster than a per-bottleneck
+    /// defense converges.
+    Rolling {
+        /// Flood rate, bits per second.
+        rate_bps: u64,
+        /// Time spent on each target before moving on.
+        dwell: Nanos,
+    },
+    /// Probe the deployed defense: cycle through candidate loads for one
+    /// `epoch` each while measuring own delivered bytes, then commit to the
+    /// candidate the defense handled worst (most attacker bytes through) —
+    /// colluding flood vs NetFence, filter churn vs TTL'd StopIt filters,
+    /// plain flood when nothing engages.
+    Probe {
+        /// Flood rate of every candidate, bits per second.
+        rate_bps: u64,
+        /// Measurement window per candidate.
+        epoch: Nanos,
+    },
+    /// Mimic a legitimate flash crowd: a staircase ramp up to `peak_bps`,
+    /// a hold, and a symmetric decay, repeating, with per-agent start
+    /// jitter drawn from the agent's dedicated RNG stream.
+    FlashMimic {
+        /// Peak surge rate, bits per second.
+        peak_bps: u64,
+        /// Ramp-up (and ramp-down) duration.
+        ramp: Nanos,
+        /// Time spent at the peak (and in the trough).
+        hold: Nanos,
+    },
+}
+
+impl AttackStrategy {
+    /// A static constant-bit-rate flood at `rate_bps`.
+    pub fn static_cbr(rate_bps: u64) -> Self {
+        AttackStrategy::Static(AttackLoad::Cbr { rate_bps })
+    }
+
+    /// A static synchronized on-off load.
+    pub fn static_on_off(rate_bps: u64, on: Nanos, off: Nanos) -> Self {
+        AttackStrategy::Static(AttackLoad::OnOff { rate_bps, on, off })
+    }
+
+    /// A shrew tuned to the defense's AIMD interval.
+    pub fn shrew_tuned(rate_bps: u64) -> Self {
+        AttackStrategy::Shrew { rate_bps, timing: ShrewTiming::Tuned }
+    }
+
+    /// A shrew with explicit pulse timing.
+    pub fn shrew_fixed(rate_bps: u64, on: Nanos, off: Nanos) -> Self {
+        AttackStrategy::Shrew { rate_bps, timing: ShrewTiming::Fixed { on, off } }
+    }
+
+    /// The canonical tournament lineup: one representative of each
+    /// strategy family at a common per-attacker rate.
+    pub fn lineup(rate_bps: u64) -> Vec<AttackStrategy> {
+        vec![
+            AttackStrategy::static_cbr(rate_bps),
+            AttackStrategy::shrew_tuned(rate_bps),
+            AttackStrategy::Rolling { rate_bps, dwell: 5 * SEC },
+            AttackStrategy::Probe { rate_bps, epoch: 3 * SEC },
+            AttackStrategy::FlashMimic { peak_bps: 4 * rate_bps, ramp: 4 * SEC, hold: 4 * SEC },
+        ]
+    }
+
+    /// Short display name for tables and bench ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackStrategy::Static(AttackLoad::Cbr { .. }) => "static-cbr",
+            AttackStrategy::Static(AttackLoad::OnOff { .. }) => "static-onoff",
+            AttackStrategy::Shrew { .. } => "shrew",
+            AttackStrategy::Rolling { .. } => "rolling",
+            AttackStrategy::Probe { .. } => "probe",
+            AttackStrategy::FlashMimic { .. } => "flash-mimic",
+        }
+    }
+
+    /// Instantiate the stateful agent for one attacker: `src` floods `dst`
+    /// (the scenario's resolved target for this member) under this
+    /// strategy, with everything else resolved from `ctx`.
+    pub fn build_flow(
+        &self,
+        id: FlowId,
+        src: HostAddr,
+        dst: HostAddr,
+        ctx: StrategyCtx,
+    ) -> Box<dyn Flow> {
+        Box::new(AdversaryFlow::new(id, src, dst, *self, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_shrew_fits_one_burst_per_control_interval() {
+        let (on, off) = ShrewTiming::Tuned.resolve(2 * SEC);
+        assert_eq!(on, SEC / 2);
+        assert_eq!(on + off, 2 * SEC);
+        let (on, off) = ShrewTiming::Fixed { on: SEC, off: 3 * SEC }.resolve(2 * SEC);
+        assert_eq!((on, off), (SEC, 3 * SEC));
+    }
+
+    #[test]
+    fn lineup_covers_all_five_families() {
+        let lineup = AttackStrategy::lineup(1_000_000);
+        let labels: Vec<&str> = lineup.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["static-cbr", "shrew", "rolling", "probe", "flash-mimic"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Tournament smoke bench: times one tournament cell, then runs a reduced
+//! defense × strategy grid and records the regret-style matrix — per-cell
+//! user goodput plus each defense's worst-case goodput and regret — into
+//! the merged `BENCH_results.json` via [`criterion::record_value`].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::tournament::{
+    regret_matrix, run_tournament, tournament_spec, TopologyKind, TournamentPoint, ATTACK_RATE,
+    SYSTEMS,
+};
+use netfence_experiments::{AttackStrategy, Runner, Scale};
+use netfence_sim::time::SEC;
+
+fn smoke_scale() -> Scale {
+    Scale { src_ases: 3, hosts_per_as: 3, sim_time: 25 * SEC, seed: 7 }
+}
+
+fn smoke_points() -> Vec<TournamentPoint> {
+    AttackStrategy::lineup(ATTACK_RATE)
+        .into_iter()
+        .map(|strategy| TournamentPoint {
+            strategy,
+            topology: TopologyKind::Dumbbell,
+            coverage_pct: 100,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tournament");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("cell_netfence_shrew", |b| {
+        b.iter(|| {
+            let p = TournamentPoint {
+                strategy: AttackStrategy::shrew_tuned(ATTACK_RATE),
+                topology: TopologyKind::Dumbbell,
+                coverage_pct: 100,
+            };
+            let spec =
+                tournament_spec(&smoke_scale(), netfence_experiments::DefenseKind::NetFence, &p);
+            std::hint::black_box(Runner::new(spec).run().avg_user_bps())
+        })
+    });
+    g.finish();
+
+    // The derived metrics: every (defense × strategy) cell's user goodput,
+    // then the per-defense worst case and regret (bits per second;
+    // reaction as simulated nanoseconds, -1 = never recovered).
+    let cells = run_tournament(&smoke_scale(), &SYSTEMS, &smoke_points());
+    for cell in &cells {
+        let id = format!("{}_{}", cell.system.label(), cell.point.strategy.label());
+        criterion::record_value("tournament_user_bps", &id, cell.avg_user_bps, 1);
+    }
+    for row in regret_matrix(&cells) {
+        let id = row.system.label();
+        criterion::record_value("tournament_worst_user_bps", id, row.worst_user_bps, 1);
+        criterion::record_value("tournament_regret_bps", id, row.regret_bps, 1);
+        let ns = row.worst_reaction_secs.map_or(-1.0, |s| s * 1e9);
+        criterion::record_value("tournament_worst_reaction_ns", id, ns, 1);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

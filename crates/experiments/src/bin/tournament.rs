@@ -1,0 +1,87 @@
+//! Adversarial tournament: defense × strategy × topology × coverage grid,
+//! printed as the full cell table plus the per-defense regret matrix.
+use netfence_experiments::report::{kbps, render_table};
+use netfence_experiments::tournament::{
+    default_points, regret_matrix, run_tournament, ATTACK_START, SYSTEMS,
+};
+use netfence_experiments::Scale;
+use netfence_sim::time::SEC;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut scale = if quick { Scale::tiny() } else { Scale::default_scale() };
+    scale.sim_time = if quick { 20 * SEC } else { 60 * SEC };
+    let points = default_points();
+    println!(
+        "Tournament: {} defenses x {} strategy points, attack at {}s, {}s simulated\n",
+        SYSTEMS.len(),
+        points.len(),
+        ATTACK_START / SEC,
+        scale.sim_time / SEC
+    );
+    let cells = run_tournament(&scale, &SYSTEMS, &points);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.system.label().to_string(),
+                c.point.strategy.label().to_string(),
+                c.point.topology.label().to_string(),
+                format!("{}%", c.point.coverage_pct),
+                kbps(c.avg_user_bps),
+                kbps(c.avg_attacker_bps),
+                match c.reaction_secs {
+                    Some(s) => format!("{s:.1}"),
+                    None => "never".to_string(),
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "system",
+                "strategy",
+                "topology",
+                "coverage",
+                "user kbps",
+                "attacker kbps",
+                "reaction (s)"
+            ],
+            &rows
+        )
+    );
+    println!("Worst case per defense (regret vs the minimax winner):\n");
+    let matrix = regret_matrix(&cells);
+    let rows: Vec<Vec<String>> = matrix
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.label().to_string(),
+                kbps(r.worst_user_bps),
+                r.worst_strategy.to_string(),
+                r.worst_topology.to_string(),
+                match r.worst_reaction_secs {
+                    Some(s) => format!("{s:.1}"),
+                    None => "never".to_string(),
+                },
+                kbps(r.regret_bps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "system",
+                "worst user kbps",
+                "worst strategy",
+                "on",
+                "worst reaction (s)",
+                "regret kbps"
+            ],
+            &rows
+        )
+    );
+}

@@ -27,6 +27,11 @@ pub struct Fig11Point {
 /// The Figure 11 scenario: 25% long-running TCP users, synchronized on-off
 /// UDP attackers flooding colluders. All attackers start at the same
 /// instant so their bursts align — the worst case discussed in §5.2.1.
+///
+/// The pulse itself is [`AttackStrategy::Shrew`] with the figure's fixed
+/// (`Ton`, `Toff`) timing; `shrew_reproduces_the_legacy_onoff_record`
+/// pins that the strategy agent reproduces the old hard-coded
+/// `TrafficSpec::on_off` attacker byte-for-byte.
 pub fn fig11_spec(scale: &Scale, fair_share: u64, ton: Nanos, toff: Nanos) -> ScenarioSpec {
     let colluders = 3.min(scale.src_ases).max(1);
     ScenarioSpec::dumbbell(*scale)
@@ -36,11 +41,9 @@ pub fn fig11_spec(scale: &Scale, fair_share: u64, ton: Nanos, toff: Nanos) -> Sc
         .legit_fraction(0.25)
         .users(TrafficSpec::LongRunningTcp)
         .user_start(StartSchedule::staggered(20, 50 * MILLI))
-        .attackers(
-            TrafficSpec::on_off(1_000_000, ton, toff),
-            AttackTarget::Colluders { ases: colluders },
-        )
+        .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Colluders { ases: colluders })
         .attacker_start(StartSchedule::Synchronized)
+        .adversary(AttackStrategy::shrew_fixed(1_000_000, ton, toff))
 }
 
 /// Run one (Ton, Toff) cell with NetFence.
@@ -73,6 +76,23 @@ pub fn run_fig11(scale: &Scale, fair_share: u64, toffs_secs: &[f64]) -> Vec<Fig1
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shrew_reproduces_the_legacy_onoff_record() {
+        // The pre-migration Figure 11 attacker was a plain
+        // `TrafficSpec::on_off` flow; the `Shrew` strategy with the same
+        // fixed timing must yield the *identical* Record.
+        let scale = Scale { src_ases: 2, hosts_per_as: 3, sim_time: 8 * SEC, seed: 11 };
+        let (ton, toff) = (secs(0.5), secs(1.5));
+        let legacy = {
+            let mut spec = fig11_spec(&scale, 100_000, ton, toff);
+            spec.adversary = None;
+            spec.attackers.traffic = TrafficSpec::on_off(1_000_000, ton, toff);
+            Runner::new(spec).run()
+        };
+        let shrew = Runner::new(fig11_spec(&scale, 100_000, ton, toff)).run();
+        assert_eq!(legacy, shrew);
+    }
 
     #[test]
     fn onoff_attack_does_not_reduce_user_below_fair_share() {

@@ -52,7 +52,9 @@ pub mod spec;
 pub mod sweep;
 pub mod topo;
 pub mod topo_scale;
+pub mod tournament;
 
+pub use netfence_adversary::{AttackLoad, AttackStrategy, ShrewTiming, StrategyCtx};
 pub use record::{DefenseReport, GoodputSample, LinkStats, Record, Role, RoleSeries};
 pub use runner::Runner;
 pub use spec::{
@@ -71,6 +73,7 @@ pub mod prelude {
         TopologySpec, TrafficSpec,
     };
     pub use crate::sweep::{Cell, SweepGrid};
+    pub use netfence_adversary::{AttackLoad, AttackStrategy, ShrewTiming, StrategyCtx};
     pub use netfence_sim::deploy::{DeploymentSpec, Placement};
     pub use netfence_topo::{BuiltTopo, MultiBottleneckSpec, TopoGroup, TopoSpec, TransitStubSpec};
 }

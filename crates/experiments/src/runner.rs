@@ -31,11 +31,14 @@ pub struct Runner {
 }
 
 /// One role group about to be spawned: `(group name, role, members)` where
-/// each member is a `(source, destination)` pair.
+/// each member is a `(source, destination)` pair, plus the group's victim
+/// and colluders (the context adaptive attacker agents are built with).
 struct PlannedGroup {
     name: String,
     role: Role,
     members: Vec<(HostAddr, HostAddr)>,
+    victim: HostAddr,
+    colluders: Vec<HostAddr>,
 }
 
 impl Runner {
@@ -167,6 +170,8 @@ impl Runner {
                 name: users_name,
                 role: Role::User,
                 members: g.users.iter().map(|&u| (u, g.victim)).collect(),
+                victim: g.victim,
+                colluders: g.colluders.clone(),
             });
             planned.push(PlannedGroup {
                 name: attackers_name,
@@ -180,22 +185,40 @@ impl Runner {
                         AttackTarget::Colluders { .. } => (a, g.colluders[i % g.colluders.len()]),
                     })
                     .collect(),
+                victim: g.victim,
+                colluders: g.colluders.clone(),
             });
+        }
+
+        // The ring of per-group primary attack destinations, in group
+        // order: the targets a Rolling adversary walks to shift its flood
+        // across the topology's bottlenecks.
+        let mut ring: Vec<HostAddr> = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let primary = match spec.attack_target {
+                AttackTarget::Victim => g.victim,
+                AttackTarget::Colluders { .. } => g.colluders[0],
+            };
+            if !ring.contains(&primary) {
+                ring.push(primary);
+            }
         }
 
         let senders: usize = groups.iter().map(|g| g.users.len() + g.attackers.len()).sum();
         let links: Vec<(String, LinkAddr, u64)> =
             bottlenecks.into_iter().map(|b| (b.label, b.addr, b.bps)).collect();
         let fair_share = bottleneck_bps as f64 / competing_senders.max(1) as f64;
-        self.simulate(net, deployment, planned, links, senders, fair_share)
+        self.simulate(net, deployment, planned, ring, links, senders, fair_share)
     }
 
     /// Shared tail: spawn the planned role flows, run, collect.
+    #[allow(clippy::too_many_arguments)]
     fn simulate(
         &self,
         net: Network,
         deployment: Deployment,
         planned: Vec<PlannedGroup>,
+        ring: Vec<HostAddr>,
         links: Vec<(String, LinkAddr, u64)>,
         senders: usize,
         fair_share_bps: f64,
@@ -224,6 +247,23 @@ impl Runner {
                 let start = role_spec.start.start_of(i);
                 if group.role == Role::Attacker {
                     attack_start = Some(attack_start.map_or(start, |a: Nanos| a.min(start)));
+                    if let Some(strategy) = spec.adversary {
+                        // Adaptive agents draw from a dedicated attacker
+                        // substream — never from the per-role `flow_seed`
+                        // space legitimate flows use — so attacker count
+                        // and strategy choice cannot perturb user traffic.
+                        let ctx = netfence_adversary::StrategyCtx {
+                            seed: adversary_seed(spec.scale.seed, g, i),
+                            member: i,
+                            victim: group.victim,
+                            colluder: (!group.colluders.is_empty())
+                                .then(|| group.colluders[i % group.colluders.len()]),
+                            ring: ring.clone(),
+                            aimd_interval: spec.defense.netfence.ilim,
+                        };
+                        ids.push(sim.add_flow(start, |id| strategy.build_flow(id, src, dst, ctx)));
+                        continue;
+                    }
                 }
                 let seed = flow_seed(spec.scale.seed, g, i);
                 let traffic = role_spec.traffic;
@@ -301,10 +341,25 @@ fn flow_seed(base: u64, group: usize, member: usize) -> u64 {
     netfence_sim::rng::splitmix64(&mut x)
 }
 
+/// Domain separator of the attacker-agent seed substream.
+const ADVERSARY_STREAM: u64 = 0xADF0_5EED_0000_0001;
+
+/// The seed of one adaptive attacker agent: a *dedicated* substream of the
+/// scenario seed, domain-separated from [`flow_seed`] so that changing the
+/// attacker count or strategy can never consume or shift the seeds
+/// legitimate flows derive theirs from — legitimate arrivals stay
+/// byte-identical across attacker configurations (pinned by regression
+/// test).
+fn adversary_seed(base: u64, group: usize, member: usize) -> u64 {
+    let mut x =
+        base ^ ADVERSARY_STREAM ^ ((group as u64 + 1) << 32) ^ (member as u64).wrapping_add(1);
+    netfence_sim::rng::splitmix64(&mut x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{DefenseKind, InternetShape, Scale, TrafficSpec};
+    use crate::spec::{DefenseKind, InternetShape, Scale, StartSchedule, TrafficSpec};
 
     #[test]
     fn dumbbell_record_has_expected_shape() {
@@ -385,5 +440,69 @@ mod tests {
                 assert!(seen.insert(flow_seed(7, g, i)));
             }
         }
+    }
+
+    #[test]
+    fn adversary_seeds_live_in_their_own_substream() {
+        // The attacker substream never collides with the per-role flow
+        // seeds: a user flow's RNG stream is the same no matter how many
+        // adversary agents exist or what they are seeded with.
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..4 {
+            for i in 0..50 {
+                assert!(seen.insert(flow_seed(7, g, i)));
+                assert!(seen.insert(adversary_seed(7, g, i)), "substream collision at ({g},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn attacker_strategy_never_perturbs_legitimate_arrivals() {
+        // Regression for the RNG-stream coupling fix: with the attackers
+        // held silent (start beyond the end of the run), every strategy —
+        // including the RNG-consuming FlashMimic and the legacy fixed-rate
+        // path — must produce byte-identical Records. Any strategy leaking
+        // into the users' seeds or arrival schedule would show up here.
+        use netfence_adversary::AttackStrategy;
+        let spec = ScenarioSpec::dumbbell(Scale {
+            src_ases: 2,
+            hosts_per_as: 3,
+            sim_time: 4 * SEC,
+            seed: 11,
+        })
+        .defense(DefenseKind::NetFence)
+        .users(TrafficSpec::WebLike)
+        .attacker_start(StartSchedule::delayed(5 * SEC));
+        let legacy = Runner::new(spec.clone()).run();
+        for strategy in AttackStrategy::lineup(1_000_000) {
+            let adaptive = Runner::new(spec.clone().adversary(strategy)).run();
+            assert_eq!(
+                legacy,
+                adaptive,
+                "silent {} attackers changed the record",
+                strategy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn static_strategy_reproduces_the_legacy_attacker_record() {
+        // Active attackers: the Static strategy is pure delegation to the
+        // same UdpFlow the legacy path spawns, so the whole Record matches
+        // byte-for-byte (property-tested across defenses in
+        // tests/adversary.rs).
+        let spec = ScenarioSpec::dumbbell(Scale {
+            src_ases: 2,
+            hosts_per_as: 3,
+            sim_time: 4 * SEC,
+            seed: 11,
+        })
+        .defense(DefenseKind::NetFence)
+        .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Victim);
+        let legacy = Runner::new(spec.clone()).run();
+        let adaptive =
+            Runner::new(spec.adversary(netfence_adversary::AttackStrategy::static_cbr(1_000_000)))
+                .run();
+        assert_eq!(legacy, adaptive);
     }
 }

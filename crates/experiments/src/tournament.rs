@@ -1,0 +1,300 @@
+//! The adversarial tournament: every defense against every attacker
+//! strategy, across topologies and deployment coverage, scored by each
+//! defense's **worst case**.
+//!
+//! A defense that looks strong against the fixed flood of §6.3 may crumble
+//! against a shrew tuned to its AIMD period or a probe that finds its worst
+//! case; robustness is a *minimax* property. The tournament runs the
+//! (defense × strategy × topology × coverage) grid via
+//! [`SweepGrid`] — attackers are the adaptive agents of
+//! `netfence-adversary`, victims always defend themselves, users are
+//! demand-bounded so a clean baseline exists — and folds the cells into a
+//! regret-style matrix: per defense, the minimum legitimate-user goodput
+//! over all strategies, the strategy that achieved it, the slowest measured
+//! reaction, and the *regret* against the best defense's worst case. The
+//! bench records both the per-cell values and the matrix into
+//! `BENCH_results.json`.
+
+use netfence_adversary::AttackStrategy;
+use netfence_sim::prelude::*;
+
+use crate::prelude::*;
+
+/// When every attacker opens fire (users establish their baseline first).
+pub const ATTACK_START: Nanos = 5 * SEC;
+
+/// Per-attacker nominal rate, bits per second.
+pub const ATTACK_RATE: u64 = 1_000_000;
+
+/// The defenses the tournament compares (the paper's four systems).
+pub const SYSTEMS: [DefenseKind; 4] = DefenseKind::ALL;
+
+/// Which topology a tournament point runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// The classic single-bottleneck dumbbell.
+    Dumbbell,
+    /// The multi-bottleneck mesh (3 chained + 1 branching designated
+    /// links) — the arena where rolling attacks shift across bottlenecks.
+    Mesh,
+}
+
+impl TopologyKind {
+    /// Short display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyKind::Dumbbell => "dumbbell",
+            TopologyKind::Mesh => "mesh",
+        }
+    }
+}
+
+/// One strategy-side point of the grid (the defense axis comes from
+/// [`SweepGrid`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TournamentPoint {
+    /// The attacker strategy.
+    pub strategy: AttackStrategy,
+    /// The arena.
+    pub topology: TopologyKind,
+    /// Deployment coverage of the defense over source ASes, percent.
+    pub coverage_pct: u8,
+}
+
+/// The default grid: the canonical strategy lineup × both topologies ×
+/// full and half deployment.
+pub fn default_points() -> Vec<TournamentPoint> {
+    let mut points = Vec::new();
+    for topology in [TopologyKind::Dumbbell, TopologyKind::Mesh] {
+        for coverage_pct in [100u8, 50] {
+            for strategy in AttackStrategy::lineup(ATTACK_RATE) {
+                points.push(TournamentPoint { strategy, topology, coverage_pct });
+            }
+        }
+    }
+    points
+}
+
+/// The scenario of one tournament cell.
+///
+/// Attackers pair with colluding receivers (so strategies that *choose* to
+/// flood the victim face suppression while colluder floods bypass it —
+/// exactly the choice [`AttackStrategy::Probe`] explores), the victim
+/// always defends itself ([`Suppression::On`]), users are demand-bounded
+/// 50 kbps CBR under a 100 kbps per-sender fair share, and goodput is
+/// sampled every second for the reaction metric.
+pub fn tournament_spec(scale: &Scale, system: DefenseKind, p: &TournamentPoint) -> ScenarioSpec {
+    let base = match p.topology {
+        TopologyKind::Dumbbell => ScenarioSpec::dumbbell(*scale).fair_share(100_000),
+        TopologyKind::Mesh => {
+            // 3 chained + 1 branching links; each link carries the long
+            // group plus one local group, so provision 100 kbps per
+            // competing sender.
+            let per_group = scale.hosts_per_as.max(4);
+            let bps = 100_000 * 2 * per_group as u64;
+            ScenarioSpec::multi_bottleneck(*scale, 3, 1, bps)
+        }
+    };
+    base.named("tournament")
+        .defense_spec(DefenseSpec::new(system).with_suppression(Suppression::On))
+        .coverage(p.coverage_pct as f64 / 100.0)
+        .legit_per_as(1)
+        .users(TrafficSpec::cbr(50_000))
+        .user_start(StartSchedule::staggered(10, 100 * MILLI))
+        .attackers(TrafficSpec::cbr(ATTACK_RATE), AttackTarget::Colluders { ases: 1 })
+        .attacker_start(StartSchedule::delayed(ATTACK_START))
+        .adversary(p.strategy)
+        .sampled(SEC)
+}
+
+/// One executed cell of the tournament grid.
+#[derive(Debug, Clone)]
+pub struct TournamentCell {
+    /// The defense.
+    pub system: DefenseKind,
+    /// The strategy-side point.
+    pub point: TournamentPoint,
+    /// Average legitimate-user goodput over the run, bits per second.
+    pub avg_user_bps: f64,
+    /// Average attacker goodput over the run, bits per second.
+    pub avg_attacker_bps: f64,
+    /// Attack start → sustained 90% goodput recovery, seconds (`None` =
+    /// never recovered within the run).
+    pub reaction_secs: Option<f64>,
+}
+
+/// One row of the regret matrix: a defense's worst case over every
+/// strategy it faced.
+#[derive(Debug, Clone)]
+pub struct RegretRow {
+    /// The defense.
+    pub system: DefenseKind,
+    /// Its minimum user goodput across all cells — the worst case.
+    pub worst_user_bps: f64,
+    /// The strategy that achieved the worst case.
+    pub worst_strategy: &'static str,
+    /// The topology the worst case occurred on.
+    pub worst_topology: &'static str,
+    /// The slowest reaction across the defense's cells; `None` when any
+    /// cell never recovered (the worst possible reaction).
+    pub worst_reaction_secs: Option<f64>,
+    /// How far this defense's worst case falls short of the best
+    /// defense's worst case, bits per second (0 for the minimax winner).
+    pub regret_bps: f64,
+}
+
+/// Run the full grid (cells in parallel, deterministic point-major order).
+pub fn run_tournament(
+    scale: &Scale,
+    systems: &[DefenseKind],
+    points: &[TournamentPoint],
+) -> Vec<TournamentCell> {
+    SweepGrid::new(systems.to_vec(), points.to_vec())
+        .run_auto(|system, p| tournament_spec(scale, system, p))
+        .iter()
+        .map(|c| TournamentCell {
+            system: c.system,
+            point: c.point,
+            avg_user_bps: c.record.avg_user_bps(),
+            avg_attacker_bps: c.record.avg_attacker_bps(),
+            reaction_secs: c.record.reaction_secs(),
+        })
+        .collect()
+}
+
+/// Fold executed cells into the per-defense worst-case (regret) matrix.
+/// Rows come back in first-appearance order of the systems.
+pub fn regret_matrix(cells: &[TournamentCell]) -> Vec<RegretRow> {
+    let mut rows: Vec<RegretRow> = Vec::new();
+    for cell in cells {
+        match rows.iter_mut().find(|r| r.system == cell.system) {
+            None => rows.push(RegretRow {
+                system: cell.system,
+                worst_user_bps: cell.avg_user_bps,
+                worst_strategy: cell.point.strategy.label(),
+                worst_topology: cell.point.topology.label(),
+                worst_reaction_secs: cell.reaction_secs,
+                regret_bps: 0.0,
+            }),
+            Some(row) => {
+                if cell.avg_user_bps < row.worst_user_bps {
+                    row.worst_user_bps = cell.avg_user_bps;
+                    row.worst_strategy = cell.point.strategy.label();
+                    row.worst_topology = cell.point.topology.label();
+                }
+                // The slowest reaction is the worst; never-recovered
+                // (`None`) dominates every finite reaction.
+                row.worst_reaction_secs = match (row.worst_reaction_secs, cell.reaction_secs) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+            }
+        }
+    }
+    let best = rows.iter().map(|r| r.worst_user_bps).fold(0.0f64, f64::max);
+    for row in &mut rows {
+        row.regret_bps = best - row.worst_user_bps;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { src_ases: 2, hosts_per_as: 3, sim_time: 12 * SEC, seed: 7 }
+    }
+
+    /// The CI gate the issue asks for: *every* strategy must run against
+    /// *every* defense (including `None`) without panicking, on both
+    /// arenas.
+    #[test]
+    fn no_strategy_panics_on_any_defense() {
+        for topology in [TopologyKind::Dumbbell, TopologyKind::Mesh] {
+            for strategy in AttackStrategy::lineup(ATTACK_RATE) {
+                for system in DefenseKind::EVERY {
+                    let p = TournamentPoint { strategy, topology, coverage_pct: 100 };
+                    let r = Runner::new(tournament_spec(&tiny(), system, &p)).run();
+                    assert!(
+                        r.senders > 0,
+                        "{} vs {} produced no senders",
+                        system.label(),
+                        p.strategy.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_cells_carry_reaction_and_goodput() {
+        let points = [TournamentPoint {
+            strategy: AttackStrategy::static_cbr(ATTACK_RATE),
+            topology: TopologyKind::Dumbbell,
+            coverage_pct: 100,
+        }];
+        let cells = run_tournament(&tiny(), &[DefenseKind::Fq, DefenseKind::None], &points);
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.avg_user_bps >= 0.0));
+    }
+
+    #[test]
+    fn regret_matrix_scores_the_minimax_winner_zero() {
+        let p = |s: AttackStrategy| TournamentPoint {
+            strategy: s,
+            topology: TopologyKind::Dumbbell,
+            coverage_pct: 100,
+        };
+        let cells = vec![
+            TournamentCell {
+                system: DefenseKind::NetFence,
+                point: p(AttackStrategy::static_cbr(1)),
+                avg_user_bps: 90_000.0,
+                avg_attacker_bps: 0.0,
+                reaction_secs: Some(2.0),
+            },
+            TournamentCell {
+                system: DefenseKind::NetFence,
+                point: p(AttackStrategy::shrew_tuned(1)),
+                avg_user_bps: 70_000.0,
+                avg_attacker_bps: 0.0,
+                reaction_secs: Some(5.0),
+            },
+            TournamentCell {
+                system: DefenseKind::Fq,
+                point: p(AttackStrategy::static_cbr(1)),
+                avg_user_bps: 50_000.0,
+                avg_attacker_bps: 0.0,
+                reaction_secs: None,
+            },
+            TournamentCell {
+                system: DefenseKind::Fq,
+                point: p(AttackStrategy::shrew_tuned(1)),
+                avg_user_bps: 60_000.0,
+                avg_attacker_bps: 0.0,
+                reaction_secs: Some(1.0),
+            },
+        ];
+        let matrix = regret_matrix(&cells);
+        assert_eq!(matrix.len(), 2);
+        let nf = &matrix[0];
+        assert_eq!(nf.system, DefenseKind::NetFence);
+        assert_eq!(nf.worst_user_bps, 70_000.0);
+        assert_eq!(nf.worst_strategy, "shrew");
+        assert_eq!(nf.worst_reaction_secs, Some(5.0));
+        assert_eq!(nf.regret_bps, 0.0, "minimax winner has zero regret");
+        let fq = &matrix[1];
+        assert_eq!(fq.worst_user_bps, 50_000.0);
+        assert_eq!(fq.worst_reaction_secs, None, "never-recovered dominates");
+        assert_eq!(fq.regret_bps, 20_000.0);
+    }
+
+    #[test]
+    fn default_grid_covers_all_axes() {
+        let points = default_points();
+        // 5 strategies × 2 topologies × 2 coverages.
+        assert_eq!(points.len(), 20);
+        assert!(points.iter().any(|p| p.topology == TopologyKind::Mesh && p.coverage_pct == 50));
+    }
+}

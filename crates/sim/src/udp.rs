@@ -85,6 +85,37 @@ impl UdpFlow {
         self
     }
 
+    /// Current sending rate during on-periods, bits per second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Current datagram size in bytes.
+    pub fn pkt_size(&self) -> usize {
+        self.pkt_size
+    }
+
+    /// Retune the sending rate. Takes effect at the next send timer; a
+    /// flow retuned to the same rate behaves exactly as if never touched.
+    pub fn set_rate_bps(&mut self, bps: u64) {
+        self.rate_bps = bps.max(1);
+    }
+
+    /// Replace the duty-cycle pattern, rebasing its phase so the new cycle
+    /// begins at `now` (adaptive senders switch patterns mid-run; the phase
+    /// of the old pattern must not leak into the new one).
+    pub fn set_pattern(&mut self, now: Nanos, pattern: UdpPattern) {
+        self.pattern = pattern;
+        self.started_at = now;
+    }
+
+    /// Redirect the flow at a new destination. Packets already in flight
+    /// still count as delivered where they were addressed; the feedback
+    /// echo follows the new destination.
+    pub fn set_dst(&mut self, dst: HostAddr) {
+        self.dst = dst;
+    }
+
     /// Time between two datagrams at the configured rate.
     fn send_interval(&self) -> Nanos {
         (self.pkt_size as u128 * 8 * SEC as u128 / self.rate_bps as u128) as Nanos
@@ -127,7 +158,10 @@ impl Flow for UdpFlow {
 
     fn on_packet(&mut self, now: Nanos, pkt: &Packet, at_host: HostAddr) -> FlowActions {
         let mut actions = FlowActions::none();
-        if at_host == self.dst && pkt.src == self.src {
+        // Count any packet this sender emitted that reached its own
+        // destination — `pkt.dst`, not `self.dst`, so a flow redirected by
+        // `set_dst` still credits in-flight packets to the old target.
+        if pkt.src == self.src && at_host == pkt.dst {
             // Receiver side: count goodput and drive the echo timer.
             self.progress.delivered_bytes += pkt.size as u64;
             self.received_since_echo = true;
@@ -235,6 +269,31 @@ mod tests {
             let pos = t % (2 * SEC);
             assert!(pos < 500 * MILLI, "packet sent during off-period at {t}");
         }
+    }
+
+    #[test]
+    fn retune_hooks_change_rate_pattern_and_destination() {
+        let mut f = UdpFlow::cbr(0, 1, 2, 1_000_000);
+        let _ = f.start(0);
+        assert_eq!(f.rate_bps(), 1_000_000);
+        assert_eq!(f.pkt_size(), 1500);
+        // Double the rate: the send interval halves.
+        let before = f.send_interval();
+        f.set_rate_bps(2_000_000);
+        assert_eq!(f.send_interval(), before / 2);
+        // Switch to on-off mid-run: the phase rebases at the switch
+        // instant, so the first on-period starts immediately.
+        f.set_pattern(10 * SEC, UdpPattern::OnOff { on: SEC, off: SEC });
+        assert!(f.on_phase(10 * SEC + 500 * MILLI).is_ok());
+        assert!(f.on_phase(10 * SEC + 1500 * MILLI).is_err());
+        // Redirect: new packets go to the new destination, and a packet
+        // already in flight to the old one still counts as delivered.
+        f.set_dst(5);
+        let acts = f.on_timer(10 * SEC, TOKEN_SEND);
+        assert_eq!(acts.packets[0].dst, 5);
+        let stale = Packet::udp(0, 1, 2, 1500, 10 * SEC);
+        let _ = f.on_packet(10 * SEC, &stale, 2);
+        assert_eq!(f.progress().delivered_bytes, 1500);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! * [`tva`] — the TVA+ capability baseline;
 //! * [`stopit`] — the StopIt filter baseline;
 //! * [`fq`] — per-sender fair queuing at every link;
-//! * [`attacker`] — attack-strategy descriptions shared by the experiment
-//!   harnesses (strategic request priorities, collusion, on-off floods);
+//! * [`attacker`] — strategic-attacker arithmetic shared by the experiment
+//!   harnesses (request-priority races of §6.3.1; the adaptive attack
+//!   *agents* live in `netfence-adversary`);
 //! * [`headers`] — the shim headers attached to simulated packets.
 //!
 //! All four systems implement `netfence_sim::deploy::DefenseFactory`: they
@@ -30,7 +31,7 @@ pub mod netfence;
 pub mod stopit;
 pub mod tva;
 
-pub use attacker::{legitimate_priority_after, strategic_request_priority, AttackStrategy};
+pub use attacker::{legitimate_priority_after, strategic_request_priority};
 pub use fq::FairQueuingDefense;
 pub use headers::{NetFenceExt, TvaExt};
 pub use netfence::{KeyAnnouncement, NetFenceDefense};

@@ -12,6 +12,7 @@
 //! | [`sim`] | Deterministic packet-level discrete-event simulator |
 //! | [`topo`] | Internet-scale topology generation (`TopoSpec` → `BuiltTopo`) |
 //! | [`ctrl`] | Asynchronous control-plane transport (latency, loss, outages, TTL'd rules) |
+//! | [`adversary`] | Adaptive attacker strategies (shrew, rolling, probe, flash-mimic agents) |
 //! | [`systems`] | NetFence / TVA+ / StopIt / FQ bound to the simulator |
 //! | [`experiments`] | Declarative `ScenarioSpec` → `Runner` → `Record` API |
 //!
@@ -31,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use netfence_adversary as adversary;
 pub use netfence_core as core;
 pub use netfence_crypto as crypto;
 pub use netfence_ctrl as ctrl;
