@@ -5,8 +5,8 @@
 //! `topo_scale` binary; these benched points feed the merged
 //! `BENCH_results.json` so the scaling trajectory is tracked per commit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use netfence_experiments::topo_scale::{build_point, scale_spec};
+use criterion::{criterion_group, criterion_main, record_value, Criterion};
+use netfence_experiments::topo_scale::{build_point, run_point, scale_spec};
 use netfence_experiments::{DefenseKind, Runner};
 
 fn bench(c: &mut Criterion) {
@@ -29,6 +29,30 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.finish();
+    // Engine-throughput and typed-drop derived metrics, recorded from one
+    // measured point per system so the profiling counters ride
+    // BENCH_results.json next to the wall-clock rows.
+    let point = run_point(600, 7, &[DefenseKind::NetFence, DefenseKind::None]);
+    for run in &point.runs {
+        record_value(
+            "topo_scale",
+            &format!("engine_events_per_sec/600_hosts_{}", run.system.label()),
+            run.events_per_sec,
+            1,
+        );
+        record_value(
+            "topo_scale",
+            &format!("sim_pkts_per_sec/600_hosts_{}", run.system.label()),
+            run.pkts_per_sec,
+            1,
+        );
+        record_value(
+            "topo_scale",
+            &format!("drop_cause_total/600_hosts_{}", run.system.label()),
+            run.drop_total as f64,
+            1,
+        );
+    }
 }
 
 criterion_group!(benches, bench);

@@ -38,6 +38,12 @@ pub enum DropReason {
     /// The per-(sender, bottleneck) regular rate limiter's queue delay
     /// exceeded the maximum.
     RegularRateLimited,
+    /// A regular packet whose presented feedback failed validation was
+    /// demoted to a request and then dropped by the request limiter. The
+    /// drop is counted against the request limiter (it made the decision)
+    /// but reported separately so operators can tell spoofed/stale
+    /// feedback apart from plain request floods.
+    UnverifiedFeedback,
 }
 
 /// The access router's decision for an outbound packet.
@@ -241,7 +247,8 @@ impl AccessRouter {
         };
 
         if treat_as_request {
-            return self.process_request(now, flow, header);
+            let demoted = header.kind == PacketKind::Regular;
+            return self.process_request(now, flow, header, demoted);
         }
 
         match header.presented {
@@ -287,13 +294,14 @@ impl AccessRouter {
         }
     }
 
-    /// Police a request packet (or a regular packet demoted because of
-    /// invalid feedback).
+    /// Police a request packet (or, when `demoted` is set, a regular packet
+    /// demoted because its presented feedback did not validate).
     fn process_request(
         &mut self,
         now: Nanos,
         flow: FlowPair,
         header: &mut NetFenceHeader,
+        demoted: bool,
     ) -> AccessVerdict {
         let multiplier = self.request_multipliers.get(&flow.src).copied().unwrap_or(1.0);
         let cfg = &self.cfg;
@@ -304,7 +312,11 @@ impl AccessRouter {
         match limiter.offer(now, header.priority) {
             RequestVerdict::Drop => {
                 self.stats.request_dropped += 1;
-                AccessVerdict::Drop(DropReason::RequestRateLimited)
+                AccessVerdict::Drop(if demoted {
+                    DropReason::UnverifiedFeedback
+                } else {
+                    DropReason::RequestRateLimited
+                })
             }
             RequestVerdict::Pass => {
                 header.kind = PacketKind::Request;

@@ -1,10 +1,11 @@
 //! The control-plane transport: a [`ControlChannel`] implementation with
 //! per-AS controllers, sessions, path latency, loss and fault injection.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use netfence_sim::deploy::{ChannelVerdict, ControlChannel, Endpoint};
 use netfence_sim::packet::AsNum;
+use netfence_sim::prelude::Timeline;
 use netfence_sim::rng::SimRng;
 use netfence_sim::time::Nanos;
 use netfence_sim::topology::{Network, NodeId};
@@ -160,6 +161,18 @@ impl CtrlService {
 }
 
 impl ControlChannel for CtrlService {
+    fn probe(&self, now: Nanos, out: &mut Timeline) {
+        // Sessions live in a HashMap; sort through a BTreeMap so the
+        // emitted rows are deterministically ordered.
+        let sorted: BTreeMap<AsNum, &Session> =
+            self.sessions.iter().map(|(&a, s)| (a, s)).collect();
+        for (asn, session) in sorted {
+            let up = matches!(session.state(), crate::session::SessionState::Connected);
+            out.record(now, "ctrl_session_up", format!("as:{asn}"), if up { 1.0 } else { 0.0 });
+            out.record(now, "ctrl_reconnects", format!("as:{asn}"), session.reconnects as f64);
+        }
+    }
+
     fn plan(&mut self, now: Nanos, from: Option<Endpoint>, to: Endpoint) -> ChannelVerdict {
         let to_as = self.as_of(to);
         let from_as = from.map(|e| self.as_of(e));

@@ -1,11 +1,21 @@
 //! Figure 8: average 20 KB transfer time under unwanted-traffic floods.
-use netfence_experiments::fig8::run_fig8;
-use netfence_experiments::report::{pct, render_table, secs2};
-use netfence_experiments::{DefenseKind, Scale};
+//!
+//! `--trace` runs one NetFence cell with observer telemetry enabled
+//! instead of the sweep: it prints the typed drop-budget table and writes
+//! the timeline probes and sampled packet flight records as JSONL under
+//! `target/telemetry/`.
+use netfence_experiments::fig8::{fig8_spec, run_fig8};
+use netfence_experiments::prelude::*;
+use netfence_experiments::report::{drop_budget_table, pct, render_table, secs2};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let scale = if quick { Scale::tiny() } else { Scale::default_scale() };
+    if trace {
+        run_traced(&scale);
+        return;
+    }
     println!(
         "Figure 8: unwanted request flooding, {} simulated senders per point, {}s simulated\n",
         scale.senders(),
@@ -24,4 +34,34 @@ fn main() {
         })
         .collect();
     println!("{}", render_table(&["senders", "system", "avg transfer (s)", "completed"], &rows));
+}
+
+/// One telemetry-instrumented NetFence cell of the Figure 8 sweep.
+fn run_traced(scale: &Scale) {
+    use netfence_sim::prelude::MILLI;
+    let spec = fig8_spec(scale, DefenseKind::NetFence, 100_000)
+        .sampled(500 * MILLI)
+        .traced(TelemetryConfig::full(4));
+    let (record, dump) = Runner::new(spec).run_with_telemetry();
+    println!("Figure 8 (NetFence cell, traced): drop budget\n");
+    println!("{}", drop_budget_table(&record));
+    println!(
+        "engine: {} events, {} forwards, {} enqueues, {} dequeues, {} drops",
+        record.engine.events,
+        record.engine.forwards,
+        record.engine.enqueues,
+        record.engine.dequeues,
+        record.engine.drops
+    );
+    println!(
+        "timeline: {} rows ({} evicted); trace: {} hop events ({} evicted)",
+        dump.timeline_rows, dump.timeline_evicted, dump.trace_events, dump.trace_evicted
+    );
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir).expect("create target/telemetry");
+    let timeline_path = dir.join("fig8_timeline.jsonl");
+    let trace_path = dir.join("fig8_trace.jsonl");
+    std::fs::write(&timeline_path, &dump.timeline_jsonl).expect("write timeline jsonl");
+    std::fs::write(&trace_path, &dump.trace_jsonl).expect("write trace jsonl");
+    println!("wrote {} and {}", timeline_path.display(), trace_path.display());
 }

@@ -56,7 +56,7 @@ pub mod tournament;
 
 pub use netfence_adversary::{AttackLoad, AttackStrategy, ShrewTiming, StrategyCtx};
 pub use record::{DefenseReport, GoodputSample, LinkStats, Record, Role, RoleSeries};
-pub use runner::Runner;
+pub use runner::{Runner, TelemetryDump};
 pub use spec::{
     AttackTarget, Bandwidth, DefenseKind, DefenseSpec, InternetShape, RoleSpec, Scale,
     ScenarioSpec, StartSchedule, Suppression, TopologySpec, TrafficSpec,
@@ -66,7 +66,7 @@ pub use sweep::{Cell, SweepGrid};
 /// Commonly used re-exports for writing scenarios.
 pub mod prelude {
     pub use crate::record::{DefenseReport, GoodputSample, LinkStats, Record, Role, RoleSeries};
-    pub use crate::runner::Runner;
+    pub use crate::runner::{Runner, TelemetryDump};
     pub use crate::spec::{
         netfence_config, AttackTarget, Bandwidth, DefenseContext, DefenseKind, DefenseSpec,
         InternetShape, RoleSpec, Scale, ScenarioSpec, StartSchedule, Suppression, SuppressionGroup,
@@ -75,5 +75,6 @@ pub mod prelude {
     pub use crate::sweep::{Cell, SweepGrid};
     pub use netfence_adversary::{AttackLoad, AttackStrategy, ShrewTiming, StrategyCtx};
     pub use netfence_sim::deploy::{DeploymentSpec, Placement};
+    pub use netfence_sim::prelude::{DropBudget, DropCause, EngineProfile, TelemetryConfig};
     pub use netfence_topo::{BuiltTopo, MultiBottleneckSpec, TopoGroup, TopoSpec, TransitStubSpec};
 }

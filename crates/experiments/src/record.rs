@@ -34,6 +34,9 @@ pub struct RoleSeries {
     pub role: Role,
     /// Per-flow progress, in member order.
     pub flows: Vec<FlowProgress>,
+    /// Typed drop budget summed over the group's flows: how many of the
+    /// group's packets each defense/queue mechanism discarded.
+    pub drops: DropBudget,
 }
 
 impl RoleSeries {
@@ -101,6 +104,9 @@ pub struct Record {
     /// When the earliest attacker starts sending (`None` without
     /// attackers), the reference instant of [`Record::reaction_secs`].
     pub attack_start: Option<Nanos>,
+    /// Engine profiling counters for the run (events processed, forwards,
+    /// enqueues/dequeues, drops) — deterministic, always collected.
+    pub engine: EngineProfile,
 }
 
 impl Record {
@@ -266,11 +272,13 @@ mod tests {
                     group: "users".into(),
                     role: Role::User,
                     flows: vec![progress(1000), progress(3000)],
+                    drops: DropBudget::default(),
                 },
                 RoleSeries {
                     group: "attackers".into(),
                     role: Role::Attacker,
                     flows: vec![progress(1000)],
+                    drops: DropBudget::default(),
                 },
             ],
             links: vec![LinkStats {
@@ -282,6 +290,7 @@ mod tests {
             report: DefenseReport::default(),
             samples: Vec::new(),
             attack_start: None,
+            engine: EngineProfile::default(),
         }
     }
 
@@ -356,6 +365,39 @@ mod tests {
         }
         // True recovery only from 8 s on: first sustained window ends 9 s.
         assert_eq!(r.reaction_secs(), Some(5.0), "spike at 6 s must not count");
+    }
+
+    #[test]
+    fn reaction_time_with_attack_at_time_zero_has_no_baseline() {
+        // Attack from the very first instant: no pre-attack window exists,
+        // so no baseline can be computed and the metric is undefined.
+        let r = Record { attack_start: Some(0), ..sampled() };
+        assert_eq!(r.reaction_secs(), None, "t=0 attack has no pre-attack baseline");
+    }
+
+    #[test]
+    fn reaction_time_when_goodput_never_recovers_is_none() {
+        // Collapse at 4 s that persists to the end of the run: every
+        // post-attack window stays below 90% of the 1000 B baseline.
+        let mut r = sampled();
+        let bytes = [1000, 2000, 3000, 4000, 4100, 4200, 4300, 4400, 4500, 4600];
+        for (s, &b) in r.samples.iter_mut().zip(bytes.iter()) {
+            s.user_bytes = b;
+        }
+        assert_eq!(r.reaction_secs(), None, "never-recovering run must not report a reaction");
+    }
+
+    #[test]
+    fn reaction_time_on_a_single_sample_run() {
+        // One sample only. If the attack starts after that window, there is
+        // no post-attack window to recover in; if it starts at 0, there is
+        // no baseline. Either way the metric must be None, not a panic.
+        let mut r = sampled();
+        r.samples.truncate(1);
+        r.attack_start = Some(2 * SEC);
+        assert_eq!(r.reaction_secs(), None, "single pre-attack sample, nothing after");
+        r.attack_start = Some(0);
+        assert_eq!(r.reaction_secs(), None, "single sample with t=0 attack");
     }
 
     #[test]

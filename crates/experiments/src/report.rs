@@ -1,6 +1,8 @@
 //! Small plain-text table formatting used by the experiment binaries, so
 //! each harness prints the same rows/series the paper's figures report.
 
+use crate::record::Record;
+
 /// Render a table with a header row; columns are padded to the widest cell.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -51,6 +53,41 @@ pub fn secs2(s: f64) -> String {
     }
 }
 
+/// Render a record's drop budget: one row per nonzero cause with the run
+/// total and, when per-flow attribution found them, the user/attacker
+/// split. The defense's budget (in the report) covers every drop in the
+/// run; the role columns only cover drops attributable to a role flow, so
+/// they may sum to less than the total.
+pub fn drop_budget_table(record: &Record) -> String {
+    let budget = &record.report.drop_budget;
+    let mut user = netfence_sim::prelude::DropBudget::default();
+    let mut attacker = netfence_sim::prelude::DropBudget::default();
+    for role in &record.roles {
+        match role.role {
+            crate::record::Role::User => user.merge(&role.drops),
+            crate::record::Role::Attacker => attacker.merge(&role.drops),
+        }
+    }
+    let mut rows: Vec<Vec<String>> = budget
+        .nonzero()
+        .map(|(cause, n)| {
+            vec![
+                cause.label().to_string(),
+                n.to_string(),
+                user.get(cause).to_string(),
+                attacker.get(cause).to_string(),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "total".to_string(),
+        budget.total().to_string(),
+        user.total().to_string(),
+        attacker.total().to_string(),
+    ]);
+    render_table(&["cause", "drops", "users", "attackers"], &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +113,21 @@ mod tests {
         assert_eq!(pct(0.934), "93.4%");
         assert_eq!(secs2(1.2345), "1.23");
         assert_eq!(secs2(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn drop_budget_table_lists_causes_and_total() {
+        use crate::prelude::*;
+        use netfence_sim::prelude::SEC;
+        let spec = ScenarioSpec::dumbbell(Scale::tiny()).defense(DefenseKind::NetFence);
+        let record = Runner::new(spec.sim_time(5 * SEC)).run();
+        let table = drop_budget_table(&record);
+        assert!(table.starts_with("cause"), "{table}");
+        assert!(table.contains("total"), "{table}");
+        // The table's total row is exactly the report's budget total.
+        let last = table.lines().last().unwrap();
+        let cells: Vec<&str> = last.split_whitespace().collect();
+        assert_eq!(cells[0], "total");
+        assert_eq!(cells[1], record.report.drop_budget.total().to_string(), "{table}");
     }
 }

@@ -30,6 +30,26 @@ pub struct Runner {
     spec: ScenarioSpec,
 }
 
+/// The observer telemetry captured by one run (empty when the spec's
+/// [`TelemetryConfig`] leaves the observers disabled). Pure output: the
+/// [`Record`] of the same run is byte-identical whether or not this was
+/// collected.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryDump {
+    /// Timeline probe rows as JSONL (one object per sampled point).
+    pub timeline_jsonl: String,
+    /// Buffered timeline row count.
+    pub timeline_rows: usize,
+    /// Timeline rows evicted by the ring buffer.
+    pub timeline_evicted: u64,
+    /// Flight-recorder hop events as JSONL (one object per hop).
+    pub trace_jsonl: String,
+    /// Buffered hop event count.
+    pub trace_events: usize,
+    /// Hop events evicted by the ring buffer.
+    pub trace_evicted: u64,
+}
+
 /// One role group about to be spawned: `(group name, role, members)` where
 /// each member is a `(source, destination)` pair, plus the group's victim
 /// and colluders (the context adaptive attacker agents are built with).
@@ -56,6 +76,15 @@ impl Runner {
     /// flows, run the simulation and collect the [`Record`].
     pub fn run(&self) -> Record {
         let built = self.build_topo();
+        self.run_built(built).0
+    }
+
+    /// Like [`Runner::run`] but also returns the run's [`TelemetryDump`]
+    /// (timeline probes + packet flight recorder). The dump is empty
+    /// unless the spec enabled telemetry via
+    /// [`ScenarioSpec::traced`](crate::spec::ScenarioSpec::traced).
+    pub fn run_with_telemetry(&self) -> (Record, TelemetryDump) {
+        let built = self.build_topo();
         self.run_built(built)
     }
 
@@ -65,7 +94,7 @@ impl Runner {
     /// spec's defense, traffic, schedules and attack target apply
     /// unchanged; its topology field is ignored.
     pub fn run_on(&self, built: BuiltTopo) -> Record {
-        self.run_built(built)
+        self.run_built(built).0
     }
 
     /// Map the scenario onto a `netfence-topo` [`TopoSpec`] and build it.
@@ -124,7 +153,7 @@ impl Runner {
     }
 
     /// Deploy, spawn and simulate one built topology.
-    fn run_built(&self, built: BuiltTopo) -> Record {
+    fn run_built(&self, built: BuiltTopo) -> (Record, TelemetryDump) {
         let spec = &self.spec;
         let BuiltTopo { net, groups, bottlenecks, source_ases, competing_senders } = built;
         let bottleneck_bps = bottlenecks.iter().map(|b| b.bps).min().unwrap_or(0);
@@ -222,7 +251,7 @@ impl Runner {
         links: Vec<(String, LinkAddr, u64)>,
         senders: usize,
         fair_share_bps: f64,
-    ) -> Record {
+    ) -> (Record, TelemetryDump) {
         let spec = &self.spec;
         let mut sim = Simulator::new(
             net,
@@ -231,6 +260,7 @@ impl Runner {
                 end_time: spec.scale.sim_time,
                 seed: spec.scale.seed,
                 sample_interval: spec.sample_interval,
+                telemetry: spec.telemetry,
                 ..Default::default()
             },
         );
@@ -305,6 +335,16 @@ impl Runner {
                 group: group.name,
                 role: group.role,
                 flows: ids.iter().map(|&f| sim.progress(f)).collect(),
+                drops: {
+                    // Keyed lookups only — the ledger's per-flow map is a
+                    // HashMap, but summing over the group's own flow-id
+                    // list never observes iteration order.
+                    let mut budget = DropBudget::default();
+                    for &f in &ids {
+                        budget.merge(&sim.metrics.drops.flow(f as u64));
+                    }
+                    budget
+                },
             })
             .collect();
         let links = links
@@ -317,7 +357,15 @@ impl Runner {
             })
             .collect();
 
-        Record {
+        let dump = TelemetryDump {
+            timeline_jsonl: sim.timeline.to_jsonl(),
+            timeline_rows: sim.timeline.len(),
+            timeline_evicted: sim.timeline.evicted(),
+            trace_jsonl: sim.flight.to_jsonl(),
+            trace_events: sim.flight.len(),
+            trace_evicted: sim.flight.evicted(),
+        };
+        let record = Record {
             name: spec.name.clone(),
             defense: spec.defense.kind,
             sim_time: spec.scale.sim_time,
@@ -329,7 +377,9 @@ impl Runner {
             report: sim.report(),
             samples,
             attack_start,
-        }
+            engine: sim.metrics.profile,
+        };
+        (record, dump)
     }
 }
 

@@ -40,6 +40,12 @@ pub struct ScaleRun {
     pub pkts_per_sec: f64,
     /// Average legitimate-user goodput, bits per second.
     pub avg_user_bps: f64,
+    /// Engine events processed by the run.
+    pub engine_events: u64,
+    /// Engine events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Total typed drops across every cause in the run.
+    pub drop_total: u64,
 }
 
 /// One point of the scaling sweep.
@@ -147,6 +153,9 @@ pub fn run_point(hosts: usize, seed: u64, systems: &[DefenseKind]) -> ScalePoint
             packets,
             pkts_per_sec: packets as f64 / wall_secs,
             avg_user_bps: r.avg_user_bps(),
+            engine_events: r.engine.events,
+            events_per_sec: r.engine.events_per_sec(wall_secs),
+            drop_total: r.report.drop_budget.total(),
         });
     }
     point
@@ -175,6 +184,8 @@ mod tests {
         for run in &p.runs {
             assert!(run.packets > 0, "{:?} moved no packets", run.system);
             assert!(run.pkts_per_sec > 0.0);
+            assert!(run.engine_events > 0, "{:?} processed no events", run.system);
+            assert!(run.events_per_sec > 0.0);
         }
     }
 }

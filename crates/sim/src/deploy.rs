@@ -28,6 +28,8 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use netfence_telemetry::{DropBudget, DropCause, Timeline};
+
 use crate::packet::{AsNum, HostAddr, LinkAddr, Packet};
 use crate::queue::QueueDisc;
 use crate::time::Nanos;
@@ -44,8 +46,9 @@ pub enum RouterAction {
         /// When to release the packet.
         release_at: Nanos,
     },
-    /// Drop the packet.
-    Drop,
+    /// Drop the packet, stating which mechanism killed it (the engine
+    /// folds the cause into the run's drop budget).
+    Drop(DropCause),
 }
 
 /// A dense reference to a link handed to router agents: the engine-side
@@ -123,6 +126,12 @@ pub trait ControlChannel: std::fmt::Debug {
     /// `from` (or `None` for deploy-time controller-origin messages) to
     /// `to`.
     fn plan(&mut self, now: Nanos, from: Option<Endpoint>, to: Endpoint) -> ChannelVerdict;
+
+    /// Sample this transport's state (per-AS session health, reconnect
+    /// counts) into a telemetry timeline. Pure observer: implementations
+    /// must not mutate transport state and must emit rows in a
+    /// deterministic order. Default: nothing to report.
+    fn probe(&self, _now: Nanos, _out: &mut Timeline) {}
 }
 
 /// The out-of-band coordination bus of a deployment.
@@ -234,6 +243,14 @@ impl ControlPlane {
         }
     }
 
+    /// Sample the installed transport's state into a telemetry timeline
+    /// (no-op on the instant-reliable default bus).
+    pub fn probe(&self, now: Nanos, out: &mut Timeline) {
+        if let Some(ch) = &self.channel {
+            ch.probe(now, out);
+        }
+    }
+
     /// Number of queued, undelivered messages.
     pub fn pending(&self) -> usize {
         self.outbox.len()
@@ -306,6 +323,14 @@ pub trait RouterAgent: std::fmt::Debug {
 
     /// Merge this agent's counters into the deployment-wide report.
     fn report(&self, _out: &mut DefenseReport) {}
+
+    /// Sample this agent's live state (limiter rates, policy-store
+    /// occupancy) into a telemetry timeline. Pure observer: called on the
+    /// engine's sample clock when the timeline is enabled; implementations
+    /// must not mutate agent state and must emit rows in a deterministic
+    /// order (aggregate hash maps through a `BTreeMap` first). Default:
+    /// nothing to report.
+    fn probe(&self, _now: Nanos, _out: &mut Timeline) {}
 }
 
 /// Per-link queue-discipline construction for a deployment. Returning
@@ -594,6 +619,11 @@ pub struct DefenseReport {
     pub rules_expired: u64,
     /// Policy-rule installs rejected by a store's capacity limit.
     pub rules_rejected: u64,
+    /// The run's typed drop budget — every dropped packet counted once by
+    /// cause (queue overflow, rate limit, filter, …). Filled in by the
+    /// engine from its always-on drop ledger; [`Deployment::report`] alone
+    /// leaves it zero.
+    pub drop_budget: DropBudget,
 }
 
 impl Default for DefenseReport {
@@ -622,6 +652,7 @@ impl Default for DefenseReport {
             rules_refreshed: 0,
             rules_expired: 0,
             rules_rejected: 0,
+            drop_budget: DropBudget::default(),
         }
     }
 }

@@ -28,13 +28,17 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use netfence_telemetry::{
+    DropCause, FlightRecorder, HopEvent, HopStage, TelemetryConfig, Timeline,
+};
+
 use crate::deploy::{
     ChannelVerdict, ControlMsg, DefenseFactory, DefenseReport, Deployment, DeploymentSpec,
     Endpoint, LinkRef, RouterAction,
 };
 use crate::flow::{Flow, FlowActions, FlowProgress};
 use crate::metrics::Metrics;
-use crate::packet::{FlowId, Packet};
+use crate::packet::{ChannelClass, FlowId, Packet};
 use crate::queue::{DropTail, QueueDisc, RedQueue};
 use crate::time::{transmission_time, Nanos, MILLI, SEC};
 use crate::topology::{Network, NodeId, QueueKind};
@@ -59,6 +63,12 @@ pub struct SimConfig {
     /// [`Simulator::samples`]). `0` (the default) disables sampling and
     /// adds no events at all.
     pub sample_interval: Nanos,
+    /// Gated telemetry observers (timeline probes ride the sample clock,
+    /// the flight recorder hash-samples packet ids). The default is fully
+    /// disabled; enabling observers never changes simulation behavior —
+    /// the always-on drop ledger and engine profile are maintained
+    /// regardless.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -69,6 +79,7 @@ impl Default for SimConfig {
             link_poll_interval: 2 * MILLI,
             seed: 1,
             sample_interval: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -155,6 +166,12 @@ pub struct Simulator {
     pub deployment: Deployment,
     /// Collected counters.
     pub metrics: Metrics,
+    /// Gated time-series probes (disabled unless
+    /// [`SimConfig::telemetry`] enables the timeline).
+    pub timeline: Timeline,
+    /// Gated hash-sampled packet tracer (disabled unless
+    /// [`SimConfig::telemetry`] sets a sample shift).
+    pub flight: FlightRecorder,
     links: Vec<LinkState>,
     /// Owning (sending-side) node of each link, for dense agent dispatch.
     link_owner: Vec<NodeId>,
@@ -202,11 +219,23 @@ impl Simulator {
             links.push(LinkState { queue, busy: false, in_flight: None, poll_pending: false });
             link_owner.push(spec.from);
         }
+        let timeline = if cfg.telemetry.timeline {
+            Timeline::new(cfg.telemetry.timeline_capacity)
+        } else {
+            Timeline::disabled()
+        };
+        let flight = match cfg.telemetry.trace_sample_shift {
+            Some(shift) => FlightRecorder::new(shift, cfg.telemetry.trace_capacity),
+            None => FlightRecorder::disabled(),
+        };
+        let metrics = Metrics::for_links(&net.links);
         let mut sim = Simulator {
             cfg,
             net,
             deployment,
-            metrics: Metrics::default(),
+            metrics,
+            timeline,
+            flight,
             links,
             link_owner,
             flows: Vec::new(),
@@ -244,9 +273,12 @@ impl Simulator {
         self.now
     }
 
-    /// The merged typed report of the deployed defense.
+    /// The merged typed report of the deployed defense, with the engine's
+    /// always-on drop budget folded in.
     pub fn report(&self) -> DefenseReport {
-        self.deployment.report()
+        let mut out = self.deployment.report();
+        out.drop_budget = *self.metrics.drops.total();
+        out
     }
 
     /// Register a flow and schedule its start. The closure receives the
@@ -373,16 +405,20 @@ impl Simulator {
     }
 
     fn handle(&mut self, kind: EventKind) {
+        self.metrics.profile.events += 1;
         match kind {
             EventKind::FlowStart { flow } => {
+                self.metrics.profile.flow_events += 1;
                 let actions = self.flows[flow].start(self.now);
                 self.apply_actions(flow, actions);
             }
             EventKind::FlowTimer { flow, token } => {
+                self.metrics.profile.flow_events += 1;
                 let actions = self.flows[flow].on_timer(self.now, token);
                 self.apply_actions(flow, actions);
             }
             EventKind::DefenseTick => {
+                self.metrics.profile.tick_events += 1;
                 let Deployment { hosts, routers, bus, .. } = &mut self.deployment;
                 for (i, agent) in routers.iter_mut().enumerate() {
                     if let Some(agent) = agent {
@@ -400,15 +436,23 @@ impl Simulator {
                     self.schedule(self.now + self.cfg.defense_tick, EventKind::DefenseTick);
                 }
             }
-            EventKind::Arrive { node, pkt } => self.packet_at_node(node, pkt),
-            EventKind::TransmitDone { link } => self.transmit_done(link),
+            EventKind::Arrive { node, pkt } => {
+                self.metrics.profile.arrive_events += 1;
+                self.packet_at_node(node, pkt)
+            }
+            EventKind::TransmitDone { link } => {
+                self.metrics.profile.link_events += 1;
+                self.transmit_done(link)
+            }
             EventKind::LinkPoll { link } => {
+                self.metrics.profile.link_events += 1;
                 self.links[link].poll_pending = false;
                 if !self.links[link].busy {
                     self.try_transmit(link);
                 }
             }
             EventKind::ReleaseDelayed { node, out_link, mut pkt } => {
+                self.metrics.profile.release_events += 1;
                 let Deployment { routers, bus, .. } = &mut self.deployment;
                 if let Some(agent) = routers[node.0].as_mut() {
                     bus.set_sender(Some(Endpoint::Router(node)));
@@ -416,15 +460,41 @@ impl Simulator {
                 }
                 self.enqueue_on_link(out_link, pkt);
             }
-            EventKind::ControlDeliver { msg } => self.deliver_control(msg),
+            EventKind::ControlDeliver { msg } => {
+                self.metrics.profile.control_events += 1;
+                self.deliver_control(msg)
+            }
             EventKind::Sample => {
+                self.metrics.profile.sample_events += 1;
                 let sample = self.flows.iter().map(|f| f.progress().delivered_bytes).collect();
                 self.flow_samples.push((self.now, sample));
+                if self.timeline.is_enabled() {
+                    self.probe_timeline();
+                }
                 if self.now + self.cfg.sample_interval <= self.cfg.end_time {
                     self.schedule(self.now + self.cfg.sample_interval, EventKind::Sample);
                 }
             }
         }
+    }
+
+    /// Sample queue depths, agent state and control-transport state into
+    /// the timeline. Only called on the sample clock when the timeline is
+    /// enabled; everything recorded here is read-only observation.
+    fn probe_timeline(&mut self) {
+        let now = self.now;
+        for (i, state) in self.links.iter().enumerate() {
+            let pkts = state.queue.len_pkts();
+            if pkts > 0 {
+                let key = format!("link:{}", self.net.links[i].addr);
+                self.timeline.record(now, "queue_depth_pkts", key.clone(), pkts as f64);
+                self.timeline.record(now, "queue_depth_bytes", key, state.queue.len_bytes() as f64);
+            }
+        }
+        for agent in self.deployment.routers.iter().flatten() {
+            agent.probe(now, &mut self.timeline);
+        }
+        self.deployment.bus.probe(now, &mut self.timeline);
     }
 
     fn apply_actions(&mut self, flow: FlowId, actions: FlowActions) {
@@ -439,6 +509,17 @@ impl Simulator {
             pkt.src_as = self.net.as_of_host(pkt.src);
             self.metrics.injected_pkts += 1;
             let node = self.net.host_node(pkt.src);
+            if self.flight.sampled(pkt.id) {
+                self.flight.record(HopEvent {
+                    at: self.now,
+                    pkt: pkt.id,
+                    flow: flow as u64,
+                    node: node.0 as u32,
+                    link: None,
+                    stage: HopStage::Inject,
+                    cause: None,
+                });
+            }
             let Deployment { hosts, bus, .. } = &mut self.deployment;
             if let Some(shim) = hosts[node.0].as_mut() {
                 bus.set_sender(Some(Endpoint::Host(node)));
@@ -448,12 +529,37 @@ impl Simulator {
         }
     }
 
+    /// Record one flight-recorder hop for `pkt` if it is in the traced
+    /// sample.
+    #[inline]
+    fn trace_hop(
+        &mut self,
+        pkt: &Packet,
+        node: NodeId,
+        link: Option<usize>,
+        stage: HopStage,
+        cause: Option<DropCause>,
+    ) {
+        if self.flight.sampled(pkt.id) {
+            self.flight.record(HopEvent {
+                at: self.now,
+                pkt: pkt.id,
+                flow: pkt.flow as u64,
+                node: node.0 as u32,
+                link: link.map(|l| l as u32),
+                stage,
+                cause,
+            });
+        }
+    }
+
     fn packet_at_node(&mut self, node: NodeId, pkt: Packet) {
         if let Some(addr) = self.net.nodes[node.0].host_addr() {
             if addr != pkt.dst {
                 // Mis-delivered packet (should not happen with consistent
                 // routing); count it as a drop.
-                self.metrics.defense_drop_pkts += 1;
+                self.metrics.record_defense_drop(pkt.flow as u64, DropCause::Misrouted);
+                self.trace_hop(&pkt, node, None, HopStage::Drop, Some(DropCause::Misrouted));
                 return;
             }
             let Deployment { hosts, bus, .. } = &mut self.deployment;
@@ -462,6 +568,7 @@ impl Simulator {
                 shim.on_receive(self.now, &pkt, bus);
             }
             self.metrics.delivered_pkts += 1;
+            self.trace_hop(&pkt, node, None, HopStage::Deliver, None);
             let flow = pkt.flow;
             if flow < self.flows.len() {
                 let actions = self.flows[flow].on_packet(self.now, &pkt, addr);
@@ -473,8 +580,10 @@ impl Simulator {
     }
 
     fn forward_from(&mut self, node: NodeId, mut pkt: Packet) {
+        self.metrics.profile.forwards += 1;
         let Some(out_link) = self.net.next_hop(node, pkt.dst) else {
-            self.metrics.defense_drop_pkts += 1;
+            self.metrics.record_defense_drop(pkt.flow as u64, DropCause::NoRoute);
+            self.trace_hop(&pkt, node, None, HopStage::Drop, Some(DropCause::NoRoute));
             return;
         };
         let is_host = self.net.nodes[node.0].host_addr().is_some();
@@ -485,6 +594,7 @@ impl Simulator {
         }
         let link = LinkRef { index: out_link, addr: self.net.links[out_link].addr };
         let Deployment { routers, bus, .. } = &mut self.deployment;
+        let had_agent = routers[node.0].is_some();
         let action = match routers[node.0].as_mut() {
             Some(agent) => {
                 let is_access = self.net.access_router_of(pkt.src) == Some(node);
@@ -494,26 +604,45 @@ impl Simulator {
             // A legacy router forwards blindly.
             None => RouterAction::Forward,
         };
+        if had_agent {
+            self.trace_hop(&pkt, node, Some(out_link), HopStage::Verdict, None);
+        }
         match action {
             RouterAction::Forward => self.enqueue_on_link(out_link, pkt),
             RouterAction::Delay { release_at } => {
                 self.schedule(release_at, EventKind::ReleaseDelayed { node, out_link, pkt });
             }
-            RouterAction::Drop => {
-                self.metrics.defense_drop_pkts += 1;
+            RouterAction::Drop(cause) => {
+                self.metrics.record_defense_drop(pkt.flow as u64, cause);
+                self.trace_hop(&pkt, node, Some(out_link), HopStage::Drop, Some(cause));
             }
+        }
+    }
+
+    /// Typed cause of a queue-level drop: which channel the dropped packet
+    /// was riding tells which budget it lost (request quota, legacy
+    /// starvation, plain overflow).
+    fn queue_drop_cause(pkt: &Packet) -> DropCause {
+        match pkt.channel {
+            ChannelClass::Request => DropCause::RequestQuota,
+            ChannelClass::Legacy => DropCause::LegacyDemotion,
+            ChannelClass::Regular => DropCause::QueueOverflow,
         }
     }
 
     fn enqueue_on_link(&mut self, link_idx: usize, pkt: Packet) {
         let now = self.now;
+        self.metrics.profile.enqueues += 1;
+        let owner = self.link_owner[link_idx];
+        self.trace_hop(&pkt, owner, Some(link_idx), HopStage::Enqueue, None);
         let dropped = self.links[link_idx].queue.enqueue(now, pkt);
         if !dropped.is_empty() {
             let addr = self.net.links[link_idx].addr;
-            let owner = self.link_owner[link_idx];
             let link = LinkRef { index: link_idx, addr };
             for d in dropped {
-                *self.metrics.link_drop_pkts.entry(addr).or_insert(0) += 1;
+                let cause = Simulator::queue_drop_cause(&d);
+                self.metrics.record_link_drop(link_idx, d.flow as u64, cause);
+                self.trace_hop(&d, owner, Some(link_idx), HopStage::Drop, Some(cause));
                 if let Some(agent) = self.deployment.routers[owner.0].as_mut() {
                     agent.on_link_drop(now, link, &d);
                 }
@@ -546,8 +675,9 @@ impl Simulator {
         if let Some(agent) = self.deployment.routers[owner.0].as_mut() {
             agent.on_link_dequeue(self.now, LinkRef { index: link_idx, addr: spec.addr }, &mut pkt);
         }
-        *self.metrics.link_tx_bytes.entry(spec.addr).or_insert(0) += pkt.size as u64;
-        *self.metrics.link_tx_pkts.entry(spec.addr).or_insert(0) += 1;
+        self.metrics.record_tx(link_idx, pkt.size as u64);
+        self.metrics.profile.dequeues += 1;
+        self.trace_hop(&pkt, owner, Some(link_idx), HopStage::Dequeue, None);
         let ser = transmission_time(pkt.size, spec.capacity);
         self.links[link_idx].busy = true;
         self.links[link_idx].in_flight = Some(pkt);
@@ -626,7 +756,15 @@ mod tests {
         assert!(goodput < 1_050_000.0, "goodput {goodput}");
         assert!(goodput > 800_000.0, "goodput {goodput}");
         // The queue must have dropped the excess.
-        assert!(sim.metrics.link_drop_pkts[&bottleneck] > 1000);
+        assert!(sim.metrics.link_drop_pkts(bottleneck) > 1000);
+        // Every queue drop is typed: a UDP flood on the regular channel
+        // bleeds out as queue overflow, and the ledger agrees with the
+        // untyped totals.
+        assert_eq!(
+            sim.metrics.link_budget(bottleneck).get(DropCause::QueueOverflow),
+            sim.metrics.link_drop_pkts(bottleneck)
+        );
+        assert_eq!(sim.metrics.drops.total().total(), sim.metrics.total_drop_pkts());
         // Utilization of the bottleneck is essentially 100%.
         assert!(sim.metrics.utilization(bottleneck, 1_000_000) > 0.9);
     }
@@ -693,8 +831,8 @@ mod tests {
             });
             sim.run();
             (
-                sim.metrics.link_tx_pkts[&bottleneck],
-                sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0),
+                sim.metrics.link_tx_pkts(bottleneck),
+                sim.metrics.link_drop_pkts(bottleneck),
                 sim.progress(1).completions.len(),
             )
         };
@@ -716,7 +854,7 @@ mod tests {
                 _ctl: &mut ControlPlane,
             ) -> RouterAction {
                 if pkt.protocol == crate::packet::Protocol::Udp {
-                    RouterAction::Drop
+                    RouterAction::Drop(DropCause::StopItFilter)
                 } else {
                     RouterAction::Forward
                 }
@@ -735,8 +873,16 @@ mod tests {
         let flow = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 1_000_000)));
         sim.run();
         assert_eq!(sim.progress(flow).delivered_bytes, 0);
-        assert!(sim.metrics.defense_drop_pkts > 100);
-        assert_eq!(sim.report().router_agents, 2);
+        assert!(sim.metrics.defense_drop_pkts() > 100);
+        // The typed budget carries the cause the agent stated, and the
+        // report surfaces it.
+        let report = sim.report();
+        assert_eq!(
+            report.drop_budget.get(DropCause::StopItFilter),
+            sim.metrics.defense_drop_pkts()
+        );
+        assert_eq!(report.drop_budget.total(), sim.metrics.total_drop_pkts());
+        assert_eq!(report.router_agents, 2);
     }
 
     #[test]
@@ -785,6 +931,40 @@ mod tests {
         assert_eq!(report.control_delivered, report.filters as u64);
         // The messages to the shim-less HOST_B were dropped and counted.
         assert_eq!(report.control_undeliverable, report.control_delivered);
+    }
+
+    #[test]
+    fn telemetry_observers_never_change_the_run() {
+        let run = |telemetry: TelemetryConfig| {
+            let (net, bottleneck) = dumbbell(1_000_000);
+            let mut sim = Simulator::undefended(
+                net,
+                SimConfig {
+                    end_time: 5 * SEC,
+                    sample_interval: 500 * MILLI,
+                    telemetry,
+                    ..Default::default()
+                },
+            );
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 3_000_000)));
+            sim.run();
+            (
+                sim.metrics.link_tx_pkts(bottleneck),
+                sim.metrics.link_drop_pkts(bottleneck),
+                sim.metrics.profile,
+                sim.flight.len(),
+                sim.timeline.len(),
+            )
+        };
+        let off = run(TelemetryConfig::default());
+        let on = run(TelemetryConfig::full(0));
+        // Counters and profile are byte-identical whether or not the gated
+        // observers ran…
+        assert_eq!((off.0, off.1, off.2), (on.0, on.1, on.2));
+        // …and only the enabled run actually captured anything.
+        assert_eq!((off.3, off.4), (0, 0));
+        assert!(on.3 > 0, "flight recorder captured nothing");
+        assert!(on.4 > 0, "timeline captured nothing");
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub mod prelude {
     pub use crate::topology::{Network, NetworkBuilder, NodeId, QueueKind};
     pub use crate::udp::{UdpFlow, UdpPattern};
     pub use crate::webtraffic::WebWorkload;
+    pub use netfence_telemetry::{
+        DropBudget, DropCause, DropLedger, EngineProfile, FlightRecorder, HopEvent, HopStage,
+        TelemetryConfig, Timeline, TimelineRow,
+    };
 }
 
 pub use prelude::*;

@@ -1,45 +1,144 @@
 //! Simulation-wide measurements: per-link counters and the aggregate
 //! statistics the experiments report (throughput ratio, Jain fairness
 //! index, utilization).
+//!
+//! The per-link counters are dense `Vec`s indexed by link id (links are
+//! dense already), so the per-packet hot path never hashes; the
+//! `LinkAddr → index` map is consulted only by post-run readers. Every
+//! drop is additionally recorded with a typed [`DropCause`] in an
+//! always-on [`DropLedger`], replacing the old single
+//! `defense_drop_pkts` counter.
 
 use std::collections::HashMap;
 
+use netfence_telemetry::{DropBudget, DropCause, DropLedger, EngineProfile};
+
 use crate::packet::LinkAddr;
 use crate::time::Nanos;
+use crate::topology::LinkSpec;
 
 /// Per-link and global counters collected by the engine.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
-    /// Bytes transmitted per link.
-    pub link_tx_bytes: HashMap<LinkAddr, u64>,
-    /// Packets transmitted per link.
-    pub link_tx_pkts: HashMap<LinkAddr, u64>,
-    /// Packets dropped by each link's queue.
-    pub link_drop_pkts: HashMap<LinkAddr, u64>,
-    /// Packets dropped by the defense system (rate limiters, filters, …).
-    pub defense_drop_pkts: u64,
+    /// Bytes transmitted per link, indexed by dense link id.
+    link_tx_bytes: Vec<u64>,
+    /// Packets transmitted per link, indexed by dense link id.
+    link_tx_pkts: Vec<u64>,
+    /// Packets dropped by each link's queue, indexed by dense link id.
+    link_drop_pkts: Vec<u64>,
+    /// Post-run lookup from protocol-level link address to dense index.
+    link_index: HashMap<LinkAddr, usize>,
+    /// Packets dropped outside link queues (agents, policers, routing).
+    defense_drops: u64,
     /// Packets delivered to destination hosts.
     pub delivered_pkts: u64,
     /// Total packets injected by flows.
     pub injected_pkts: u64,
     /// Simulated time at which the run ended.
     pub end_time: Nanos,
+    /// Typed per-cause drop accounting (always on).
+    pub drops: DropLedger,
+    /// Event-loop profiling counters (always on).
+    pub profile: EngineProfile,
 }
 
 impl Metrics {
-    /// Utilization of a link over the whole run.
+    /// Metrics sized for a network with the given links.
+    pub fn for_links(links: &[LinkSpec]) -> Self {
+        Metrics {
+            link_tx_bytes: vec![0; links.len()],
+            link_tx_pkts: vec![0; links.len()],
+            link_drop_pkts: vec![0; links.len()],
+            link_index: links.iter().enumerate().map(|(i, l)| (l.addr, i)).collect(),
+            drops: DropLedger::new(links.len()),
+            ..Metrics::default()
+        }
+    }
+
+    /// Register one transmitted packet of `bytes` on link `idx`.
+    #[inline]
+    pub(crate) fn record_tx(&mut self, idx: usize, bytes: u64) {
+        self.link_tx_bytes[idx] += bytes;
+        self.link_tx_pkts[idx] += 1;
+    }
+
+    /// Register one queue drop of flow `flow` on link `idx`.
+    #[inline]
+    pub(crate) fn record_link_drop(&mut self, idx: usize, flow: u64, cause: DropCause) {
+        self.link_drop_pkts[idx] += 1;
+        self.drops.record(Some(idx), flow, cause);
+        self.profile.drops += 1;
+    }
+
+    /// Register one node-level drop (agent verdict, policer, routing) of
+    /// flow `flow`.
+    #[inline]
+    pub(crate) fn record_defense_drop(&mut self, flow: u64, cause: DropCause) {
+        self.defense_drops += 1;
+        self.drops.record(None, flow, cause);
+        self.profile.drops += 1;
+    }
+
+    /// Dense index of a link address, if the link exists.
+    fn idx(&self, link: LinkAddr) -> Option<usize> {
+        self.link_index.get(&link).copied()
+    }
+
+    /// Bytes transmitted on a link.
+    pub fn link_tx_bytes(&self, link: LinkAddr) -> u64 {
+        self.idx(link).map_or(0, |i| self.link_tx_bytes[i])
+    }
+
+    /// Packets transmitted on a link.
+    pub fn link_tx_pkts(&self, link: LinkAddr) -> u64 {
+        self.idx(link).map_or(0, |i| self.link_tx_pkts[i])
+    }
+
+    /// Packets dropped by a link's queue.
+    pub fn link_drop_pkts(&self, link: LinkAddr) -> u64 {
+        self.idx(link).map_or(0, |i| self.link_drop_pkts[i])
+    }
+
+    /// Typed drop budget of a link's queue.
+    pub fn link_budget(&self, link: LinkAddr) -> DropBudget {
+        self.idx(link).map_or_else(DropBudget::default, |i| self.drops.link(i))
+    }
+
+    /// Packets dropped outside link queues (rate limiters, filters,
+    /// policers, routing failures).
+    pub fn defense_drop_pkts(&self) -> u64 {
+        self.defense_drops
+    }
+
+    /// Queue drops summed over every link.
+    pub fn queue_drop_pkts(&self) -> u64 {
+        self.link_drop_pkts.iter().sum()
+    }
+
+    /// All drops of the run: queue drops plus node-level drops. Always
+    /// equal to the drop ledger's total (the telemetry property tests pin
+    /// this).
+    pub fn total_drop_pkts(&self) -> u64 {
+        self.queue_drop_pkts() + self.defense_drops
+    }
+
+    /// Utilization of a link over the whole run. Saturates to `0.0` on a
+    /// zero-length run, an unknown link or a zero-capacity link instead of
+    /// dividing by zero.
     pub fn utilization(&self, link: LinkAddr, capacity_bps: u64) -> f64 {
         if self.end_time == 0 || capacity_bps == 0 {
             return 0.0;
         }
-        let bits = self.link_tx_bytes.get(&link).copied().unwrap_or(0) as f64 * 8.0;
+        let bits = self.link_tx_bytes(link) as f64 * 8.0;
         bits / (capacity_bps as f64 * self.end_time as f64 / 1e9)
     }
 
-    /// Loss rate of a link (drops / (drops + transmissions)).
+    /// Loss rate of a link (drops / (drops + transmissions)). Saturates to
+    /// `0.0` when the link never carried or dropped a packet — including
+    /// the zero-length run where nothing moved at all.
     pub fn loss_rate(&self, link: LinkAddr) -> f64 {
-        let drops = self.link_drop_pkts.get(&link).copied().unwrap_or(0) as f64;
-        let tx = self.link_tx_pkts.get(&link).copied().unwrap_or(0) as f64;
+        let drops = self.link_drop_pkts(link) as f64;
+        let tx = self.link_tx_pkts(link) as f64;
         if drops + tx == 0.0 {
             0.0
         } else {
@@ -82,18 +181,75 @@ pub fn mean_ratio(numerators: &[f64], denominators: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SEC;
+    use crate::time::{MILLI, SEC};
+    use crate::topology::QueueKind;
+
+    fn one_link() -> Vec<LinkSpec> {
+        vec![LinkSpec {
+            addr: 1,
+            from: crate::topology::NodeId(0),
+            to: crate::topology::NodeId(1),
+            capacity: 20_000_000,
+            delay: MILLI,
+            queue: QueueKind::DropTail,
+        }]
+    }
 
     #[test]
     fn utilization_and_loss() {
-        let mut m = Metrics { end_time: 10 * SEC, ..Default::default() };
-        m.link_tx_bytes.insert(1, 12_500_000); // 100 Mbit over 10 s = 10 Mbps
-        m.link_tx_pkts.insert(1, 1000);
-        m.link_drop_pkts.insert(1, 250);
+        let mut m = Metrics::for_links(&one_link());
+        m.end_time = 10 * SEC;
+        for _ in 0..999 {
+            m.record_tx(0, 12_500);
+        }
+        m.record_tx(0, 12_500); // 100 Mbit over 10 s = 10 Mbps
+        for _ in 0..250 {
+            m.record_link_drop(0, 0, DropCause::QueueOverflow);
+        }
         assert!((m.utilization(1, 20_000_000) - 0.5).abs() < 1e-9);
         assert!((m.loss_rate(1) - 0.2).abs() < 1e-9);
         assert_eq!(m.utilization(2, 20_000_000), 0.0);
         assert_eq!(m.loss_rate(2), 0.0);
+    }
+
+    #[test]
+    fn utilization_saturates_on_zero_length_runs() {
+        let mut m = Metrics::for_links(&one_link());
+        m.record_tx(0, 12_500);
+        // end_time stays 0: a run that never advanced must report zero
+        // utilization, not a division by zero.
+        assert_eq!(m.end_time, 0);
+        assert_eq!(m.utilization(1, 20_000_000), 0.0);
+        assert!(m.utilization(1, 20_000_000).is_finite());
+        // Zero capacity saturates the same way.
+        m.end_time = SEC;
+        assert_eq!(m.utilization(1, 0), 0.0);
+    }
+
+    #[test]
+    fn loss_rate_saturates_on_zero_length_runs() {
+        let m = Metrics::for_links(&one_link());
+        // Nothing transmitted, nothing dropped: loss is 0, not NaN.
+        assert_eq!(m.loss_rate(1), 0.0);
+        assert!(m.loss_rate(1).is_finite());
+        // An unknown link behaves the same.
+        assert_eq!(m.loss_rate(99), 0.0);
+    }
+
+    #[test]
+    fn drop_accounting_is_typed_and_consistent() {
+        let mut m = Metrics::for_links(&one_link());
+        m.record_link_drop(0, 3, DropCause::QueueOverflow);
+        m.record_link_drop(0, 3, DropCause::LegacyDemotion);
+        m.record_defense_drop(4, DropCause::StopItFilter);
+        assert_eq!(m.queue_drop_pkts(), 2);
+        assert_eq!(m.defense_drop_pkts(), 1);
+        assert_eq!(m.total_drop_pkts(), 3);
+        assert_eq!(m.drops.total().total(), m.total_drop_pkts());
+        assert_eq!(m.link_budget(1).get(DropCause::QueueOverflow), 1);
+        assert_eq!(m.link_budget(1).get(DropCause::LegacyDemotion), 1);
+        assert_eq!(m.drops.flow(3).total(), 2);
+        assert_eq!(m.profile.drops, 3);
     }
 
     #[test]

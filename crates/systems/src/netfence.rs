@@ -33,7 +33,7 @@
 //! NetFence header and is demoted to the legacy channel at deployed
 //! routers, which is the paper's adoption incentive (§5.3).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use netfence_core::access::{AccessRouter, AccessVerdict, DropReason};
 use netfence_core::as_police::{AsPolicer, AsPolicingMode};
@@ -48,6 +48,7 @@ use netfence_sim::deploy::{
     QueueFactory, RouterAction, RouterAgent,
 };
 use netfence_sim::packet::{AsNum, ChannelClass, Extension, HostAddr, Packet, Protocol};
+use netfence_sim::prelude::{DropCause, Timeline};
 use netfence_sim::queue::{DualChannelQueue, PriorityLevelQueue, QueueDisc, RedQueue};
 use netfence_sim::time::Nanos;
 use netfence_sim::topology::{LinkSpec, Network, NodeId};
@@ -446,11 +447,24 @@ impl RouterAgent for NetFenceRouterAgent {
                     RouterAction::Delay { release_at }
                 }
                 AccessVerdict::Drop(reason) => {
-                    match reason {
-                        DropReason::RequestRateLimited => self.stats.request_drops += 1,
-                        DropReason::RegularRateLimited => self.stats.regular_drops += 1,
-                    }
-                    RouterAction::Drop
+                    let cause = match reason {
+                        DropReason::RequestRateLimited => {
+                            self.stats.request_drops += 1;
+                            DropCause::RequestRateLimit
+                        }
+                        DropReason::RegularRateLimited => {
+                            self.stats.regular_drops += 1;
+                            DropCause::RegularRateLimit
+                        }
+                        // Still a request-limiter drop for the report, but
+                        // typed separately so the budget distinguishes
+                        // spoofed feedback from plain request floods.
+                        DropReason::UnverifiedFeedback => {
+                            self.stats.request_drops += 1;
+                            DropCause::InvalidMac
+                        }
+                    };
+                    RouterAction::Drop(cause)
                 }
             }
         } else {
@@ -474,7 +488,7 @@ impl RouterAgent for NetFenceRouterAgent {
                     let src_as = AsId(pkt.src_as);
                     if !self.as_policers[pi].1.admit(now, src_as, pkt.size) {
                         self.stats.as_policer_drops += 1;
-                        return RouterAction::Drop;
+                        return RouterAction::Drop(DropCause::AsPolicer);
                     }
                 }
             }
@@ -556,6 +570,30 @@ impl RouterAgent for NetFenceRouterAgent {
                     ctl.to_router(peer, ann);
                 }
             }
+        }
+    }
+
+    fn probe(&self, now: Nanos, out: &mut Timeline) {
+        // The limiter table is a HashMap: aggregate through a BTreeMap so
+        // the emitted rows are deterministically ordered (telemetry must
+        // never observe iteration order).
+        if let Some(access) = &self.access {
+            let mut rates: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+            for (key, lim) in access.limiters() {
+                rates.insert((key.src.0, key.link.0), lim.rate());
+            }
+            for ((src, link), rate) in rates {
+                out.record(now, "aimd_rate_bps", format!("src:{src}/link:{link}"), rate as f64);
+            }
+        }
+        out.record(now, "key_store_peers", "netfence".to_string(), self.keys.len() as f64);
+        for (_, bl) in self.bottlenecks.iter() {
+            out.record(
+                now,
+                "bottleneck_in_mon",
+                format!("link:{}", bl.link().0),
+                if bl.in_mon() { 1.0 } else { 0.0 },
+            );
         }
     }
 
@@ -644,7 +682,7 @@ mod tests {
         let report = sim.report();
         assert!(!report.link_in_mon(bottleneck));
         assert_eq!(report.rate_limiters, 0);
-        assert!(sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0) < 10);
+        assert!(sim.metrics.link_drop_pkts(bottleneck) < 10);
     }
 
     #[test]
@@ -691,7 +729,13 @@ mod tests {
         let report = sim.report();
         assert!(report.stamped_decr > 0, "no L↓ ever stamped");
         assert!(report.rate_limiters >= 2, "limiters: {}", report.rate_limiters);
-        assert!(sim.metrics.link_drop_pkts.get(&bottleneck).copied().unwrap_or(0) > 0);
+        assert!(sim.metrics.link_drop_pkts(bottleneck) > 0);
+        // Every drop in the run is attributed to a typed cause.
+        assert_eq!(
+            sim.metrics.drops.total().total(),
+            sim.metrics.total_drop_pkts(),
+            "typed drop budget must account for every drop"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use netfence_sim::deploy::{
     QueueFactory, RouterAction, RouterAgent,
 };
 use netfence_sim::packet::{HostAddr, Packet};
+use netfence_sim::prelude::{DropCause, Timeline};
 use netfence_sim::queue::{HierDrrQueue, QueueDisc};
 use netfence_sim::time::Nanos;
 use netfence_sim::topology::{LinkSpec, Network, NodeId};
@@ -239,10 +240,15 @@ impl RouterAgent for StopItRouterAgent {
     ) -> RouterAction {
         if is_access && self.filters.contains(now, &(pkt.src, pkt.dst)) {
             self.filtered_drops += 1;
-            RouterAction::Drop
+            RouterAction::Drop(DropCause::StopItFilter)
         } else {
             RouterAction::Forward
         }
+    }
+
+    fn probe(&self, now: Nanos, out: &mut Timeline) {
+        out.record(now, "filter_table_len", "stopit".to_string(), self.filters.len() as f64);
+        out.record(now, "filtered_drops", "stopit".to_string(), self.filtered_drops as f64);
     }
 
     fn on_control(&mut self, now: Nanos, msg: Box<dyn std::any::Any>, _ctl: &mut ControlPlane) {

@@ -32,6 +32,7 @@ use netfence_sim::deploy::{
     QueueFactory, RouterAction, RouterAgent,
 };
 use netfence_sim::packet::{ChannelClass, Extension, HostAddr, Packet};
+use netfence_sim::prelude::{DropCause, Timeline};
 use netfence_sim::queue::{Classifier, DrrQueue, DualChannelQueue, HierDrrQueue, QueueDisc};
 use netfence_sim::time::{Nanos, SEC};
 use netfence_sim::topology::{LinkSpec, Network, NodeId};
@@ -256,11 +257,15 @@ impl RouterAgent for TvaRouterAgent {
                     RouterAction::Forward
                 } else {
                     self.unauthorized_drops += 1;
-                    RouterAction::Drop
+                    RouterAction::Drop(DropCause::TvaNoCapability)
                 }
             }
             _ => RouterAction::Forward,
         }
+    }
+
+    fn probe(&self, now: Nanos, out: &mut Timeline) {
+        out.record(now, "unauthorized_drops", "tva".to_string(), self.unauthorized_drops as f64);
     }
 
     fn report(&self, out: &mut DefenseReport) {

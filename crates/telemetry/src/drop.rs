@@ -1,0 +1,224 @@
+//! Typed drop causes and the ledgers that count them.
+//!
+//! The simulator used to fold every non-queue drop into a single
+//! `defense_drop_pkts` counter, which made "why did this defense lose
+//! packets" unanswerable. [`DropCause`] names every drop point in the
+//! data plane; [`DropBudget`] is a dense per-cause histogram and
+//! [`DropLedger`] keeps one budget per link plus per-flow attribution so
+//! the experiment layer can fold drops by role.
+
+use std::collections::HashMap;
+
+/// Why a packet was dropped. One variant per drop point in the simulator
+/// and the defense systems; the set is closed so budgets can be dense
+/// arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// Regular-channel queue overflow at a link.
+    QueueOverflow,
+    /// Request-channel queue overflow — the per-priority request quota of
+    /// NetFence §4.3 (or any request-class tail drop).
+    RequestQuota,
+    /// Legacy-channel eviction: traffic demoted below the protected
+    /// channels lost the bandwidth competition at a link queue.
+    LegacyDemotion,
+    /// Unverifiable congestion feedback (bad or replayed MAC): the packet
+    /// was demoted to the request channel and the request limiter refused
+    /// it.
+    InvalidMac,
+    /// The access router's per-priority request-channel policer refused
+    /// the packet.
+    RequestRateLimit,
+    /// The access router's per-(sender, bottleneck) AIMD rate limiter
+    /// refused the packet.
+    RegularRateLimit,
+    /// A NetFence bottleneck's per-source-AS policer (partial-deployment
+    /// fairness, §5.3) refused the packet.
+    AsPolicer,
+    /// A StopIt filter at the source's access router matched the packet.
+    StopItFilter,
+    /// TVA+ dropped a regular packet without a valid (unexpired)
+    /// capability.
+    TvaNoCapability,
+    /// The packet reached a host other than its destination.
+    Misrouted,
+    /// No route: the forwarding node had no next hop for the destination.
+    NoRoute,
+}
+
+impl DropCause {
+    /// Number of distinct causes (the length of [`DropCause::ALL`]).
+    pub const COUNT: usize = 11;
+
+    /// Every cause, in display order.
+    pub const ALL: [DropCause; DropCause::COUNT] = [
+        DropCause::QueueOverflow,
+        DropCause::RequestQuota,
+        DropCause::LegacyDemotion,
+        DropCause::InvalidMac,
+        DropCause::RequestRateLimit,
+        DropCause::RegularRateLimit,
+        DropCause::AsPolicer,
+        DropCause::StopItFilter,
+        DropCause::TvaNoCapability,
+        DropCause::Misrouted,
+        DropCause::NoRoute,
+    ];
+
+    /// Dense index of this cause into a [`DropBudget`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short stable label (used by tables, JSONL and bench keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::QueueOverflow => "queue-overflow",
+            DropCause::RequestQuota => "request-quota",
+            DropCause::LegacyDemotion => "legacy-demotion",
+            DropCause::InvalidMac => "invalid-mac",
+            DropCause::RequestRateLimit => "request-rate-limit",
+            DropCause::RegularRateLimit => "regular-rate-limit",
+            DropCause::AsPolicer => "as-policer",
+            DropCause::StopItFilter => "stopit-filter",
+            DropCause::TvaNoCapability => "tva-no-capability",
+            DropCause::Misrouted => "misrouted",
+            DropCause::NoRoute => "no-route",
+        }
+    }
+}
+
+/// A dense per-cause drop histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropBudget {
+    counts: [u64; DropCause::COUNT],
+}
+
+impl DropBudget {
+    /// Count one drop.
+    #[inline]
+    pub fn add(&mut self, cause: DropCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Drops recorded for `cause`.
+    pub fn get(&self, cause: DropCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total drops across all causes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold another budget into this one.
+    pub fn merge(&mut self, other: &DropBudget) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(cause, count)` pairs with a nonzero count, in display order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (DropCause, u64)> + '_ {
+        DropCause::ALL.iter().map(|&c| (c, self.get(c))).filter(|&(_, n)| n > 0)
+    }
+}
+
+/// The always-on drop ledger the engine maintains: one [`DropBudget`] per
+/// link (dense, indexed by link id) plus a run total and per-flow
+/// attribution.
+///
+/// Per-flow counts use a `HashMap` — drops are rare relative to forwards,
+/// and the map is only ever *read* by keyed lookup (never iterated), so
+/// its nondeterministic iteration order cannot leak into any output.
+#[derive(Debug, Clone, Default)]
+pub struct DropLedger {
+    per_link: Vec<DropBudget>,
+    per_flow: HashMap<u64, DropBudget>,
+    total: DropBudget,
+}
+
+impl DropLedger {
+    /// A ledger for a network with `links` links.
+    pub fn new(links: usize) -> Self {
+        DropLedger {
+            per_link: vec![DropBudget::default(); links],
+            per_flow: HashMap::new(),
+            total: DropBudget::default(),
+        }
+    }
+
+    /// Count one drop of flow `flow`, at link `link` if the packet died at
+    /// a link queue (`None` for node-level drops).
+    #[inline]
+    pub fn record(&mut self, link: Option<usize>, flow: u64, cause: DropCause) {
+        if let Some(idx) = link {
+            if let Some(b) = self.per_link.get_mut(idx) {
+                b.add(cause);
+            }
+        }
+        self.per_flow.entry(flow).or_default().add(cause);
+        self.total.add(cause);
+    }
+
+    /// The run-total budget.
+    pub fn total(&self) -> &DropBudget {
+        &self.total
+    }
+
+    /// The budget of link `idx` (zero budget when out of range).
+    pub fn link(&self, idx: usize) -> DropBudget {
+        self.per_link.get(idx).copied().unwrap_or_default()
+    }
+
+    /// The budget attributed to flow `flow`.
+    pub fn flow(&self, flow: u64) -> DropBudget {
+        self.per_flow.get(&flow).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_causes_have_distinct_dense_indices() {
+        let mut seen = [false; DropCause::COUNT];
+        for c in DropCause::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn budget_counts_and_merges() {
+        let mut a = DropBudget::default();
+        a.add(DropCause::QueueOverflow);
+        a.add(DropCause::QueueOverflow);
+        a.add(DropCause::StopItFilter);
+        let mut b = DropBudget::default();
+        b.add(DropCause::QueueOverflow);
+        b.merge(&a);
+        assert_eq!(b.get(DropCause::QueueOverflow), 3);
+        assert_eq!(b.get(DropCause::StopItFilter), 1);
+        assert_eq!(b.total(), 4);
+        let nz: Vec<_> = b.nonzero().collect();
+        assert_eq!(nz, vec![(DropCause::QueueOverflow, 3), (DropCause::StopItFilter, 1)]);
+    }
+
+    #[test]
+    fn ledger_attributes_per_link_and_per_flow() {
+        let mut l = DropLedger::new(2);
+        l.record(Some(0), 7, DropCause::QueueOverflow);
+        l.record(Some(1), 7, DropCause::LegacyDemotion);
+        l.record(None, 9, DropCause::AsPolicer);
+        assert_eq!(l.total().total(), 3);
+        assert_eq!(l.link(0).get(DropCause::QueueOverflow), 1);
+        assert_eq!(l.link(1).get(DropCause::LegacyDemotion), 1);
+        assert_eq!(l.link(5).total(), 0);
+        assert_eq!(l.flow(7).total(), 2);
+        assert_eq!(l.flow(9).get(DropCause::AsPolicer), 1);
+        assert_eq!(l.flow(1).total(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! # netfence-telemetry
+//!
+//! Pure-observer instrumentation for the NetFence reproduction: typed drop
+//! causes, ring-buffered time series, a hash-sampled packet flight recorder
+//! and engine profiling counters.
+//!
+//! The crate is a leaf — it depends on nothing and is depended on by the
+//! simulator, the defense systems, the control plane and the experiment
+//! layer. Everything in it obeys one **determinism contract**:
+//!
+//! * The *always-on* parts — [`DropLedger`]/[`DropBudget`] and
+//!   [`EngineProfile`] — are plain deterministic counters. They are cheap
+//!   enough to maintain unconditionally, so they may surface in
+//!   `DefenseReport`/`Record` without threatening the byte-identity
+//!   property tests.
+//! * The *gated* parts — [`Timeline`] and [`FlightRecorder`], switched by
+//!   [`TelemetryConfig`] (default: fully disabled) — are observers only.
+//!   They never feed back into simulation state, never consume RNG draws
+//!   (the flight recorder samples on a hash of the engine-assigned packet
+//!   id), and never appear in a `Record`. Enabling them must leave every
+//!   `Record` byte-identical; `tests/telemetry.rs` pins this for every
+//!   defense system.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod drop;
+pub mod profile;
+pub mod timeline;
+pub mod trace;
+
+pub use config::TelemetryConfig;
+pub use drop::{DropBudget, DropCause, DropLedger};
+pub use profile::EngineProfile;
+pub use timeline::{Timeline, TimelineRow};
+pub use trace::{FlightRecorder, HopEvent, HopStage};
+
+/// Simulated nanoseconds — the same representation as
+/// `netfence_sim::time::Nanos` (both are plain `u64` aliases, so they
+/// unify without a dependency edge).
+pub type Nanos = u64;
+
+/// Escape a string for embedding inside a JSON string literal. The keys
+/// and series names the crate emits are ASCII identifiers, but the escape
+/// is complete for the JSON control set so hand-rolled export stays valid
+/// without a serde dependency.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_the_control_set() {
+        assert_eq!(json_escape("plain-key"), "plain-key");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+    }
+}

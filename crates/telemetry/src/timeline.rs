@@ -1,0 +1,141 @@
+//! Ring-buffered time series with JSONL export.
+
+use std::collections::VecDeque;
+
+use crate::{json_escape, Nanos};
+
+/// One sampled point: a named series, a key identifying which instance of
+/// the series (a link, a limiter, an AS), and a value at an instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRow {
+    /// Simulated instant of the sample.
+    pub at: Nanos,
+    /// Series name, e.g. `"queue_depth_pkts"` or `"aimd_rate_bps"`.
+    pub series: &'static str,
+    /// Instance key, e.g. `"link:3->4"` or `"src:17/link:2"`.
+    pub key: String,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A bounded append-only time series buffer. When full, the oldest rows
+/// are evicted (and counted), so a long run keeps its most recent window
+/// rather than aborting or reallocating without bound.
+///
+/// Probes that aggregate from hash maps must sort (e.g. through a
+/// `BTreeMap`) before recording — the timeline preserves insertion order
+/// and its JSONL export is expected to be deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    enabled: bool,
+    capacity: usize,
+    rows: VecDeque<TimelineRow>,
+    evicted: u64,
+}
+
+impl Timeline {
+    /// An enabled timeline holding at most `capacity` rows.
+    pub fn new(capacity: usize) -> Self {
+        Timeline { enabled: true, capacity: capacity.max(1), rows: VecDeque::new(), evicted: 0 }
+    }
+
+    /// The no-op timeline: recording does nothing. (Also what
+    /// [`Timeline::default`] builds.)
+    pub fn disabled() -> Self {
+        Timeline::default()
+    }
+
+    /// Whether this timeline records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one sample. No-op when disabled.
+    #[inline]
+    pub fn record(&mut self, at: Nanos, series: &'static str, key: String, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        if self.rows.len() == self.capacity {
+            self.rows.pop_front();
+            self.evicted += 1;
+        }
+        self.rows.push_back(TimelineRow { at, series, key, value });
+    }
+
+    /// The buffered rows, oldest first.
+    pub fn rows(&self) -> impl Iterator<Item = &TimelineRow> {
+        self.rows.iter()
+    }
+
+    /// Buffered row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Export every buffered row as one JSON object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let value = if r.value.is_finite() { r.value } else { 0.0 };
+            out.push_str(&format!(
+                "{{\"at\":{},\"series\":\"{}\",\"key\":\"{}\",\"value\":{}}}\n",
+                r.at,
+                json_escape(r.series),
+                json_escape(&r.key),
+                value,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let mut t = Timeline::disabled();
+        t.record(1, "s", "k".to_string(), 1.0);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut t = Timeline::new(2);
+        for i in 0..5u64 {
+            t.record(i, "s", format!("k{i}"), i as f64);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 3);
+        let keys: Vec<_> = t.rows().map(|r| r.key.clone()).collect();
+        assert_eq!(keys, vec!["k3", "k4"]);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_row() {
+        let mut t = Timeline::new(8);
+        t.record(5, "queue_depth_pkts", "link:0->1".to_string(), 3.0);
+        t.record(6, "aimd_rate_bps", "src:2/link:9".to_string(), 12_500.5);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"at\":5,\"series\":\"queue_depth_pkts\",\"key\":\"link:0->1\",\"value\":3}"
+        );
+        assert!(lines[1].contains("12500.5"));
+    }
+}

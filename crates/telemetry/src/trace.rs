@@ -1,0 +1,215 @@
+//! The packet flight recorder: hash-sampled per-hop packet traces.
+
+use std::collections::VecDeque;
+
+use crate::{DropCause, Nanos};
+
+/// What happened to a traced packet at one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopStage {
+    /// The packet entered the network at its source host.
+    Inject,
+    /// A router agent ruled on the packet (forward / delay / drop).
+    Verdict,
+    /// The packet joined a link queue.
+    Enqueue,
+    /// The packet left a link queue and began transmission.
+    Dequeue,
+    /// The packet was dropped (the event carries the cause).
+    Drop,
+    /// The packet reached its destination host.
+    Deliver,
+}
+
+impl HopStage {
+    /// Short stable label for export.
+    pub fn label(self) -> &'static str {
+        match self {
+            HopStage::Inject => "inject",
+            HopStage::Verdict => "verdict",
+            HopStage::Enqueue => "enqueue",
+            HopStage::Dequeue => "dequeue",
+            HopStage::Drop => "drop",
+            HopStage::Deliver => "deliver",
+        }
+    }
+}
+
+/// One hop event of a traced packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopEvent {
+    /// Simulated instant, nanoseconds.
+    pub at: Nanos,
+    /// Engine-assigned packet id.
+    pub pkt: u64,
+    /// Flow the packet belongs to.
+    pub flow: u64,
+    /// Node where the event happened.
+    pub node: u32,
+    /// Link involved, when the stage concerns a link queue.
+    pub link: Option<u32>,
+    /// What happened.
+    pub stage: HopStage,
+    /// Why, for [`HopStage::Drop`] events.
+    pub cause: Option<DropCause>,
+}
+
+/// 64-bit finalizer (murmur3's) — decorrelates sequential packet ids so
+/// sampling `hash & mask == 0` picks an unbiased `1 / 2^shift` slice.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// A bounded recorder of per-hop events for a deterministic sample of
+/// packets. Sampling is a pure function of the packet id, so whether the
+/// recorder is on can never perturb RNG streams or event order.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    mask: Option<u64>,
+    capacity: usize,
+    events: VecDeque<HopEvent>,
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder tracing a `1 / 2^shift` sample of packets, holding at
+    /// most `capacity` events (oldest evicted first).
+    pub fn new(shift: u32, capacity: usize) -> Self {
+        FlightRecorder {
+            mask: Some((1u64 << shift.min(63)) - 1),
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// The no-op recorder: nothing is sampled. (Also what
+    /// [`FlightRecorder::default`] builds.)
+    pub fn disabled() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// Whether this recorder traces anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.mask.is_some()
+    }
+
+    /// Whether packet `pkt_id` is in the traced sample.
+    #[inline]
+    pub fn sampled(&self, pkt_id: u64) -> bool {
+        match self.mask {
+            Some(mask) => mix(pkt_id) & mask == 0,
+            None => false,
+        }
+    }
+
+    /// Record one hop event. The caller is expected to have checked
+    /// [`FlightRecorder::sampled`]; recording an unsampled packet is
+    /// allowed but wastes ring space.
+    #[inline]
+    pub fn record(&mut self, ev: HopEvent) {
+        if self.mask.is_none() {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &HopEvent> {
+        self.events.iter()
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Export every buffered event as one JSON object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"at\":{},\"pkt\":{},\"flow\":{},\"node\":{},\"link\":{},\"stage\":\"{}\",\"cause\":{}}}\n",
+                e.at,
+                e.pkt,
+                e.flow,
+                e.node,
+                e.link.map(|l| l.to_string()).unwrap_or_else(|| "null".to_string()),
+                e.stage.label(),
+                e.cause
+                    .map(|c| format!("\"{}\"", c.label()))
+                    .unwrap_or_else(|| "null".to_string()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_samples_nothing() {
+        let r = FlightRecorder::disabled();
+        assert!(!r.is_enabled());
+        assert!((0..1000).all(|i| !r.sampled(i)));
+    }
+
+    #[test]
+    fn shift_zero_samples_everything() {
+        let r = FlightRecorder::new(0, 16);
+        assert!((0..1000).all(|i| r.sampled(i)));
+    }
+
+    #[test]
+    fn sampling_is_roughly_one_in_two_to_the_shift() {
+        let r = FlightRecorder::new(4, 16);
+        let hits = (0..16_000u64).filter(|&i| r.sampled(i)).count();
+        // Expect ~1000; the hash is fixed so this is a deterministic bound.
+        assert!((600..1400).contains(&hits), "hits: {hits}");
+    }
+
+    #[test]
+    fn ring_bounds_and_jsonl_shape() {
+        let mut r = FlightRecorder::new(0, 2);
+        for i in 0..3u64 {
+            r.record(HopEvent {
+                at: i,
+                pkt: i,
+                flow: 1,
+                node: 4,
+                link: if i == 0 { None } else { Some(9) },
+                stage: if i == 2 { HopStage::Drop } else { HopStage::Enqueue },
+                cause: if i == 2 { Some(DropCause::QueueOverflow) } else { None },
+            });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.evicted(), 1);
+        let jsonl = r.to_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"link\":9"));
+        assert!(lines[1].contains("\"stage\":\"drop\""));
+        assert!(lines[1].contains("\"cause\":\"queue-overflow\""));
+    }
+}
