@@ -6,3 +6,5 @@
 //! for the design choices called out in `DESIGN.md`. Run with
 //! `cargo bench --workspace`; see `EXPERIMENTS.md` for how the bench output
 //! maps to the paper's numbers.
+
+#![forbid(unsafe_code)]

@@ -20,7 +20,7 @@
 //! ASes are identified via Passport ([`crate::passport`]), so they cannot be
 //! spoofed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::types::{AsId, Bps, Nanos, SEC};
 
@@ -67,7 +67,9 @@ pub struct AsPolicer {
     last_eval: Nanos,
     /// EWMA weight for per-AS rates.
     ewma_weight: f64,
-    per_as: HashMap<AsId, AsState>,
+    // BTreeMap: the policer sweeps every tracked AS each interval and its
+    // fair-share decisions must not depend on iteration order.
+    per_as: BTreeMap<AsId, AsState>,
 }
 
 impl AsPolicer {
@@ -79,7 +81,7 @@ impl AsPolicer {
             interval: SEC,
             last_eval: now,
             ewma_weight: 0.3,
-            per_as: HashMap::new(),
+            per_as: BTreeMap::new(),
         }
     }
 
@@ -173,6 +175,7 @@ impl AsPolicer {
 mod tests {
     use super::*;
     use crate::types::MILLI;
+    use std::collections::HashMap;
 
     /// Drive `seconds` of traffic: `rates` maps an AS to its sending rate in
     /// bps (1500 B packets). Returns delivered bits per AS.

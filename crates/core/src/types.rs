@@ -76,8 +76,9 @@ impl FlowPair {
 }
 
 /// Key of a per-(sender, bottleneck link) rate limiter kept by an access
-/// router (§3.1, §4.3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// router (§3.1, §4.3.3). `Ord` so limiter sweeps can emit in sorted
+/// (deterministic) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LimiterKey {
     /// The policed sender.
     pub src: HostId,

@@ -28,6 +28,8 @@
 //! consolidated file for the perf trajectory. [`criterion_main!`] writes
 //! the file when the process's groups finish.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 

@@ -8,8 +8,7 @@
 //! grants all live in one, and the typed [`PolicyStats`] feed the
 //! deployment report's `rules_*` counters.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use netfence_sim::time::Nanos;
 
@@ -36,17 +35,19 @@ pub struct PolicyStats {
 pub struct PolicyStore<K> {
     ttl: Nanos,
     capacity: usize,
-    /// Rule → expiry instant (`Nanos::MAX` when `ttl == 0`).
-    entries: HashMap<K, Nanos>,
+    /// Rule → expiry instant (`Nanos::MAX` when `ttl == 0`). A `BTreeMap`
+    /// so every sweep — purge teardown, future occupancy probes — visits
+    /// rules in key order, never in a per-process hash order.
+    entries: BTreeMap<K, Nanos>,
     /// Lifecycle counters.
     pub stats: PolicyStats,
 }
 
-impl<K: Eq + Hash> PolicyStore<K> {
+impl<K: Ord> PolicyStore<K> {
     /// An empty store. `ttl == 0` disables expiry; `capacity == 0` means
     /// unbounded.
     pub fn new(ttl: Nanos, capacity: usize) -> Self {
-        PolicyStore { ttl, capacity, entries: HashMap::new(), stats: PolicyStats::default() }
+        PolicyStore { ttl, capacity, entries: BTreeMap::new(), stats: PolicyStats::default() }
     }
 
     /// The configured TTL (0 = rules never expire).
@@ -92,6 +93,8 @@ impl<K: Eq + Hash> PolicyStore<K> {
         if self.ttl == 0 {
             return Vec::new();
         }
+        // Key order (BTreeMap), so the teardown callbacks driven by the
+        // returned list run deterministically.
         let dead: Vec<K> =
             self.entries.iter().filter(|(_, &e)| now >= e).map(|(k, _)| k.clone()).collect();
         for k in &dead {

@@ -40,13 +40,15 @@ pub struct CtrlService {
     /// Node id → AS number (hosts and routers alike).
     node_as: Vec<AsNum>,
     /// AS → controller node (first router of the AS, by node order).
-    controllers: HashMap<AsNum, usize>,
+    // BTreeMap: Dijkstra seeds and the per-AS probe rows iterate these,
+    // so their order must be the key order, not a hash order.
+    controllers: BTreeMap<AsNum, usize>,
     /// Router-only adjacency: `adj[node]` lists `(neighbor, link delay)`.
     adj: Vec<Vec<(usize, Nanos)>>,
     /// Cached Dijkstra results: source AS → (dest AS → path delay).
     path_cache: HashMap<AsNum, HashMap<AsNum, Nanos>>,
     /// One daemon session per AS controller.
-    sessions: HashMap<AsNum, Session>,
+    sessions: BTreeMap<AsNum, Session>,
     rng: SimRng,
 }
 
@@ -54,7 +56,7 @@ impl CtrlService {
     /// Build the service for `net` under `cfg`.
     pub fn for_network(net: &Network, cfg: CtrlConfig) -> Self {
         let node_as: Vec<AsNum> = net.nodes.iter().map(|n| n.as_num()).collect();
-        let mut controllers = HashMap::new();
+        let mut controllers = BTreeMap::new();
         for (i, n) in net.nodes.iter().enumerate() {
             if n.host_addr().is_none() {
                 controllers.entry(n.as_num()).or_insert(i);
@@ -74,7 +76,7 @@ impl CtrlService {
             controllers,
             adj,
             path_cache: HashMap::new(),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             rng: SimRng::new(seed),
         }
     }
@@ -162,11 +164,8 @@ impl CtrlService {
 
 impl ControlChannel for CtrlService {
     fn probe(&self, now: Nanos, out: &mut Timeline) {
-        // Sessions live in a HashMap; sort through a BTreeMap so the
-        // emitted rows are deterministically ordered.
-        let sorted: BTreeMap<AsNum, &Session> =
-            self.sessions.iter().map(|(&a, s)| (a, s)).collect();
-        for (asn, session) in sorted {
+        // Sessions live in a BTreeMap, so the rows emit in AS order.
+        for (asn, session) in &self.sessions {
             let up = matches!(session.state(), crate::session::SessionState::Connected);
             out.record(now, "ctrl_session_up", format!("as:{asn}"), if up { 1.0 } else { 0.0 });
             out.record(now, "ctrl_reconnects", format!("as:{asn}"), session.reconnects as f64);

@@ -111,7 +111,9 @@ pub fn default_knobs() -> Vec<ReactionKnobs> {
 pub fn attack_for(system: DefenseKind) -> AttackTarget {
     match system {
         DefenseKind::NetFence => AttackTarget::Colluders { ases: 1 },
-        _ => AttackTarget::Victim,
+        DefenseKind::Tva | DefenseKind::StopIt | DefenseKind::Fq | DefenseKind::None => {
+            AttackTarget::Victim
+        }
     }
 }
 
@@ -128,7 +130,7 @@ pub fn attack_for(system: DefenseKind) -> AttackTarget {
 pub fn fair_share_for(system: DefenseKind) -> u64 {
     match system {
         DefenseKind::StopIt => 30_000,
-        _ => 100_000,
+        DefenseKind::NetFence | DefenseKind::Tva | DefenseKind::Fq | DefenseKind::None => 100_000,
     }
 }
 

@@ -121,6 +121,7 @@ pub fn scale_spec(hosts: usize, system: DefenseKind) -> ScenarioSpec {
 /// construction and sizing the routing state.
 pub fn build_point(hosts: usize, seed: u64) -> ScalePoint {
     let spec = transit_stub_spec(hosts, seed);
+    // lint:allow(wall-clock): deliberately times real construction cost for the scaling table; never enters a Record
     let start = Instant::now();
     let built = TopoSpec::TransitStub(spec).build();
     let build_secs = start.elapsed().as_secs_f64();
@@ -143,6 +144,7 @@ pub fn run_point(hosts: usize, seed: u64, systems: &[DefenseKind]) -> ScalePoint
     let mut point = build_point(hosts, seed);
     for &system in systems {
         let spec = scale_spec(hosts, system);
+        // lint:allow(wall-clock): measures simulator throughput (pkts per wall-second) for the scaling table; never enters a Record
         let start = Instant::now();
         let r = Runner::new(spec).run();
         let wall_secs = start.elapsed().as_secs_f64().max(1e-9);

@@ -1,0 +1,28 @@
+//! Fixture: hash-collection iteration on the export path (must FAIL —
+//! one finding per iteration site, none for the keyed lookup).
+
+use std::collections::HashMap;
+
+pub struct Book {
+    pub flows: HashMap<u32, u64>,
+}
+
+impl Book {
+    /// Emits rows in hash order — the exact `Record`-nondeterminism bug.
+    pub fn rows(&self) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        for (addr, bytes) in &self.flows {
+            out.push((*addr, *bytes));
+        }
+        out
+    }
+
+    pub fn keys_in_hash_order(&self) -> Vec<u32> {
+        self.flows.keys().copied().collect()
+    }
+
+    /// Keyed access never fires.
+    pub fn lookup(&self, addr: u32) -> Option<u64> {
+        self.flows.get(&addr).copied()
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: the sanctioned alternatives on the export path (must PASS) —
+//! a `BTreeMap` for anything iterated, hash maps kept keyed-only, and a
+//! justified allow where the result is sorted before anyone sees it.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Book {
+    /// Sorted map: iteration order is key order, deterministic.
+    pub flows: BTreeMap<u32, u64>,
+    /// Hash-keyed, lookup-only: never iterated.
+    pub index: HashMap<u32, usize>,
+}
+
+impl Book {
+    pub fn rows(&self) -> Vec<(u32, u64)> {
+        self.flows.iter().map(|(a, b)| (*a, *b)).collect()
+    }
+
+    pub fn lookup(&self, addr: u32) -> Option<usize> {
+        self.index.get(&addr).copied()
+    }
+
+    pub fn sorted_index_keys(&self) -> Vec<u32> {
+        // lint:allow(nondeterministic-iteration): collected then sorted on the next line — callers only ever see key order
+        let mut keys: Vec<u32> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}

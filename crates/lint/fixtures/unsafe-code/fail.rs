@@ -1,0 +1,6 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]` (must FAIL
+//! when analyzed as a crate root).
+
+pub fn entry() -> u32 {
+    7
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying the mandatory attribute (must PASS).
+
+#![forbid(unsafe_code)]
+
+pub fn entry() -> u32 {
+    7
+}

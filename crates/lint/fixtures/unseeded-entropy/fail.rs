@@ -1,0 +1,11 @@
+//! Fixture: ambient entropy sources (must FAIL — `RandomState` seeds
+//! itself from the OS per process, so anything derived from it is
+//! unreproducible).
+
+use std::collections::hash_map::RandomState;
+use std::hash::BuildHasher;
+
+pub fn ambient_seed() -> u64 {
+    let state = RandomState::new();
+    state.hash_one(0x6e66u64)
+}

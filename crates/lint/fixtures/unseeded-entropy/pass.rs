@@ -1,0 +1,23 @@
+//! Fixture: every draw comes from a seeded `SimRng` substream (must
+//! PASS).
+
+pub struct SimRng(u64);
+
+impl SimRng {
+    pub fn seeded(seed: u64) -> SimRng {
+        SimRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    pub fn substream(&self, label: u64) -> SimRng {
+        SimRng(self.0.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ label)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+}
+
+pub fn jitter(rng: &mut SimRng, span: u64) -> u64 {
+    rng.next_u64() % span.max(1)
+}

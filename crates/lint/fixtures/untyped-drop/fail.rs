@@ -1,0 +1,14 @@
+//! Fixture: a drop constructed without any `DropCause` mapping in sight
+//! (must FAIL — the drop budget cannot account for it).
+
+pub enum RouterAction {
+    Forward,
+    Drop(u32),
+}
+
+pub fn police(code: u32, over_budget: bool) -> RouterAction {
+    if over_budget {
+        return RouterAction::Drop(code);
+    }
+    RouterAction::Forward
+}

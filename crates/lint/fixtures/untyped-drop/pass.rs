@@ -1,0 +1,31 @@
+//! Fixture: every drop site references a `DropCause` mapping (must
+//! PASS) — inline cause, cause mapped nearby, and a match *pattern*
+//! consuming an already-typed cause.
+
+pub enum DropCause {
+    Unauthorized,
+    RateLimited,
+}
+
+pub enum RouterAction {
+    Forward,
+    Drop(DropCause),
+}
+
+pub fn police(over_budget: bool) -> RouterAction {
+    if over_budget {
+        return RouterAction::Drop(DropCause::RateLimited);
+    }
+    RouterAction::Forward
+}
+
+pub fn mapped(cause: DropCause) -> RouterAction {
+    RouterAction::Drop(cause)
+}
+
+pub fn count(action: &RouterAction) -> u32 {
+    match action {
+        RouterAction::Drop(_) => 1,
+        RouterAction::Forward => 0,
+    }
+}

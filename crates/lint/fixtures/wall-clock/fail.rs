@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads outside the bench zone (must FAIL — the
+//! `SystemTime` import, the `Instant::now` call and the `SystemTime::now`
+//! call each produce a finding).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _ = t0.elapsed();
+    SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+}

@@ -1,0 +1,14 @@
+//! Fixture: simulated time only, plus one justified wall-clock read
+//! (must PASS).
+
+pub type Nanos = u64;
+
+pub fn advance(now: Nanos, dt: Nanos) -> Nanos {
+    now + dt
+}
+
+pub fn wall_seconds() -> f64 {
+    // lint:allow(wall-clock): measures harness wall-time for a throughput table; never enters a Record
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}

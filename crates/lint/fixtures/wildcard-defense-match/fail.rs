@@ -1,0 +1,17 @@
+//! Fixture: a `_` arm in a match naming a protected enum (must FAIL —
+//! a sixth defense kind would silently fall through to 100 kbps).
+
+pub enum DefenseKind {
+    NetFence,
+    Tva,
+    StopIt,
+    Fq,
+    None,
+}
+
+pub fn fair_share_for(system: DefenseKind) -> u64 {
+    match system {
+        DefenseKind::StopIt => 30_000,
+        _ => 100_000,
+    }
+}

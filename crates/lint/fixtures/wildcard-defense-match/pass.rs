@@ -1,0 +1,24 @@
+//! Fixture: every variant enumerated over the protected enum; `_` arms
+//! over unprotected types stay legal (must PASS).
+
+pub enum DefenseKind {
+    NetFence,
+    Tva,
+    StopIt,
+    Fq,
+    None,
+}
+
+pub fn fair_share_for(system: DefenseKind) -> u64 {
+    match system {
+        DefenseKind::StopIt => 30_000,
+        DefenseKind::NetFence | DefenseKind::Tva | DefenseKind::Fq | DefenseKind::None => 100_000,
+    }
+}
+
+pub fn label(slot: Option<u32>) -> &'static str {
+    match slot {
+        Some(0) => "first",
+        _ => "other",
+    }
+}

@@ -1,0 +1,123 @@
+//! Diagnostics: rustc-style rendering plus the machine-readable JSON
+//! report consumed by CI and tooling.
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the build (subject to a justified `lint:allow`).
+    Error,
+    /// Reported, and promoted to an error under `--deny-all`.
+    Warning,
+}
+
+/// One finding, anchored to a workspace-relative `file:line` span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    pub severity: Severity,
+    /// The justification of the `lint:allow` that suppressed this
+    /// finding, when one did.
+    pub suppressed_by: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(rule: &str, path: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            message,
+            severity: Severity::Error,
+            suppressed_by: None,
+        }
+    }
+
+    /// Render in the rustc style the repo's other tooling emits.
+    pub fn render(&self) -> String {
+        let level = match (self.severity, &self.suppressed_by) {
+            (_, Some(reason)) => {
+                return format!(
+                    "note[{}]: suppressed at {}:{} — {}",
+                    self.rule, self.path, self.line, reason
+                )
+            }
+            (Severity::Error, None) => "error",
+            (Severity::Warning, None) => "warning",
+        };
+        format!("{level}[{}]: {}\n  --> {}:{}", self.rule, self.message, self.path, self.line)
+    }
+}
+
+/// Escape a string for embedding in the JSON report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize the full diagnostic set as the machine-readable report.
+pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\n");
+    let errors =
+        diags.iter().filter(|d| d.severity == Severity::Error && d.suppressed_by.is_none()).count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning && d.suppressed_by.is_none())
+        .count();
+    let suppressed = diags.iter().filter(|d| d.suppressed_by.is_some()).count();
+    out.push_str(&format!(
+        "  \"summary\": {{ \"files\": {files_scanned}, \"errors\": {errors}, \"warnings\": {warnings}, \"suppressed\": {suppressed} }},\n"
+    ));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let sev = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        out.push_str(&format!(
+            "    {{ \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"severity\": \"{}\", \"suppressed\": {}, \"reason\": {}, \"message\": \"{}\" }}{}\n",
+            json_escape(&d.rule),
+            json_escape(&d.path),
+            d.line,
+            sev,
+            d.suppressed_by.is_some(),
+            match &d.suppressed_by {
+                Some(r) => format!("\"{}\"", json_escape(r)),
+                None => "null".to_string(),
+            },
+            json_escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_json_roundtrip_basics() {
+        let d =
+            Diagnostic::error("wall-clock", "crates/sim/src/engine.rs", 42, "bad \"time\"".into());
+        assert!(d.render().starts_with("error[wall-clock]"));
+        assert!(d.render().contains("crates/sim/src/engine.rs:42"));
+        let json = to_json(&[d], 7);
+        assert!(json.contains("\"files\": 7"));
+        assert!(json.contains("\\\"time\\\""));
+        assert!(json.contains("\"errors\": 1"));
+    }
+}

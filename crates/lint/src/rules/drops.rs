@@ -1,0 +1,80 @@
+//! Rule `untyped-drop`: every `RouterAction::Drop` construction must
+//! reference a `DropCause` mapping, so PR 8's "the typed drop budget sums
+//! exactly to the engine's drop count" invariant stays true as new drop
+//! sites appear. Three shapes pass:
+//!
+//! * `RouterAction::Drop(DropCause::…)` — the cause is inline;
+//! * `RouterAction::Drop(cause)` where `DropCause` appears in the
+//!   preceding statements (the cause was computed by a typed mapping) —
+//!   approximated as a 400-significant-token look-back window;
+//! * `RouterAction::Drop(pat) =>` — a match *pattern*, which consumes an
+//!   already-typed cause rather than constructing one.
+//!
+//! A bare `RouterAction::Drop` path (no argument) always fires.
+
+use super::{Context, Rule, SourceFile};
+use crate::diag::Diagnostic;
+
+pub struct UntypedDrop;
+
+const LOOKBACK: usize = 400;
+
+impl Rule for UntypedDrop {
+    fn name(&self) -> &'static str {
+        "untyped-drop"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let s = &file.sig;
+        for k in 0..s.len() {
+            if file.test_code(k) {
+                continue;
+            }
+            if !(file.tok(k).is_ident("RouterAction")
+                && k + 2 < s.len()
+                && file.tok(k + 1).is_punct("::")
+                && file.tok(k + 2).is_ident("Drop"))
+            {
+                continue;
+            }
+            let line = file.tok(k).line;
+            let after = k + 3;
+            // `RouterAction::Drop => …` (unit pattern) is fine.
+            if after < s.len() && file.tok(after).is_punct("=>") {
+                continue;
+            }
+            if after < s.len() && file.tok(after).is_punct("(") {
+                let Some(close) = file.matching(after, "(", ")") else {
+                    out.push(self.diag(file, line));
+                    continue;
+                };
+                let inline_cause = (after + 1..close).any(|j| file.tok(j).is_ident("DropCause"));
+                if inline_cause {
+                    continue;
+                }
+                // Match pattern: the construct is consumed, not built.
+                if close + 1 < s.len() && file.tok(close + 1).is_punct("=>") {
+                    continue;
+                }
+                // A named cause must have been mapped from `DropCause`
+                // nearby (same function, approximated by a token window).
+                let start = k.saturating_sub(LOOKBACK);
+                if (start..k).any(|j| file.tok(j).is_ident("DropCause")) {
+                    continue;
+                }
+            }
+            out.push(self.diag(file, line));
+        }
+    }
+}
+
+impl UntypedDrop {
+    fn diag(&self, file: &SourceFile, line: u32) -> Diagnostic {
+        Diagnostic::error(
+            self.name(),
+            &file.path,
+            line,
+            "`RouterAction::Drop` without a `DropCause` mapping; every drop site must be typed so the drop budget keeps summing to the engine's drop count".to_string(),
+        )
+    }
+}

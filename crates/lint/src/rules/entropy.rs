@@ -1,0 +1,53 @@
+//! Rule `unseeded-entropy`: any randomness source not derived from
+//! `SimRng` (or an explicit seed substream of it) is banned — everywhere,
+//! including test code, because an unseeded RNG makes both the
+//! simulation and its regression tests unreproducible. The banned token
+//! list lives in `lint.toml` so a new hazard (say, a vendored `rand`
+//! gaining `from_entropy`) is one config line, not a code change.
+
+use super::{Context, Rule, SourceFile};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+pub struct UnseededEntropy;
+
+const DEFAULT_BANNED: [&str; 8] = [
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+    "DefaultHasher",
+    "SipHasher",
+];
+
+impl Rule for UnseededEntropy {
+    fn name(&self) -> &'static str {
+        "unseeded-entropy"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        let configured = ctx.config.list("rules.unseeded-entropy", "banned");
+        let banned: BTreeSet<&str> = if configured.is_empty() {
+            DEFAULT_BANNED.iter().copied().collect()
+        } else {
+            configured.iter().map(String::as_str).collect()
+        };
+        for k in 0..file.sig.len() {
+            let t = file.tok(k);
+            if t.kind == TokKind::Ident && banned.contains(t.text.as_str()) {
+                out.push(Diagnostic::error(
+                    self.name(),
+                    &file.path,
+                    t.line,
+                    format!(
+                        "`{}` is an unseeded entropy source; derive randomness from `SimRng` seed substreams",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The rule engine: a prepared [`SourceFile`] (token stream, significant
+//! indices, `#[cfg(test)]` shadowing), the workspace-level [`Context`]
+//! (zone config plus the cross-module table of functions returning hash
+//! collections), and the six rules of the taxonomy (`DESIGN.md` §13).
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+
+pub mod drops;
+pub mod entropy;
+pub mod iteration;
+pub mod unsafe_code;
+pub mod wallclock;
+pub mod wildcard;
+
+/// Names of every rule, in reporting order. The allow policy findings
+/// (`unjustified-allow`, `unknown-rule`, `unused-allow`) are emitted by
+/// the engine itself, not listed here.
+pub const RULE_NAMES: [&str; 6] = [
+    "nondeterministic-iteration",
+    "wall-clock",
+    "unseeded-entropy",
+    "untyped-drop",
+    "wildcard-defense-match",
+    "unsafe-code",
+];
+
+/// One prepared source file.
+pub struct SourceFile {
+    pub path: String,
+    pub toks: Vec<Tok>,
+    /// Indices of non-comment tokens, in order.
+    pub sig: Vec<usize>,
+    /// Per-token: inside an inline `#[cfg(test)] mod` block. Test-only
+    /// code cannot reach an export, so the determinism rules skip it
+    /// (integration tests under `tests/` are separate files and are
+    /// zoned via `lint.toml` instead).
+    pub in_test: Vec<bool>,
+    pub is_crate_root: bool,
+}
+
+impl SourceFile {
+    pub fn prepare(path: &str, source: &str, is_crate_root: bool) -> SourceFile {
+        let toks = lex(source);
+        let sig: Vec<usize> =
+            toks.iter().enumerate().filter(|(_, t)| !t.is_comment()).map(|(i, _)| i).collect();
+        let mut file =
+            SourceFile { path: path.to_string(), toks, sig, in_test: Vec::new(), is_crate_root };
+        file.in_test = file.mark_test_blocks();
+        file
+    }
+
+    /// The significant token at sig-position `k`.
+    pub fn tok(&self, k: usize) -> &Tok {
+        &self.toks[self.sig[k]]
+    }
+
+    /// Whether sig-position `k` lies in an inline `#[cfg(test)]` module.
+    pub fn test_code(&self, k: usize) -> bool {
+        self.in_test[self.sig[k]]
+    }
+
+    /// Find the sig-position of the matching closer for the opener at
+    /// sig-position `open` (`(`/`)`, `{`/`}`, `[`/`]`).
+    pub fn matching(&self, open: usize, open_p: &str, close_p: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        for k in open..self.sig.len() {
+            let t = self.tok(k);
+            if t.is_punct(open_p) {
+                depth += 1;
+            } else if t.is_punct(close_p) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
+    /// Mark every token inside `#[cfg(test)] mod <name> { ... }` blocks.
+    fn mark_test_blocks(&self) -> Vec<bool> {
+        let mut marked = vec![false; self.toks.len()];
+        let s = &self.sig;
+        let mut k = 0usize;
+        while k + 6 < s.len() {
+            let attr_is_cfg_test = self.tok(k).is_punct("#")
+                && self.tok(k + 1).is_punct("[")
+                && self.tok(k + 2).is_ident("cfg")
+                && self.tok(k + 3).is_punct("(")
+                && self.tok(k + 4).is_ident("test")
+                && self.tok(k + 5).is_punct(")")
+                && self.tok(k + 6).is_punct("]");
+            if !attr_is_cfg_test {
+                k += 1;
+                continue;
+            }
+            // Skip any further attributes, then accept `pub`? `mod name {`.
+            let mut j = k + 7;
+            while j < s.len() && self.tok(j).is_punct("#") {
+                if let Some(close) = self.matching(j + 1, "[", "]") {
+                    j = close + 1;
+                } else {
+                    break;
+                }
+            }
+            if j < s.len() && self.tok(j).is_ident("pub") {
+                j += 1;
+            }
+            if j + 2 < s.len() && self.tok(j).is_ident("mod") && self.tok(j + 2).is_punct("{") {
+                if let Some(close) = self.matching(j + 2, "{", "}") {
+                    for m in &s[k..=close] {
+                        marked[*m] = true;
+                    }
+                    k = close + 1;
+                    continue;
+                }
+            }
+            k += 1;
+        }
+        marked
+    }
+}
+
+/// Workspace-level context shared by every rule.
+pub struct Context<'a> {
+    pub config: &'a LintConfig,
+    /// Functions (by name) whose return type mentions a hash collection —
+    /// collected workspace-wide so `for x in access.limiters()` is caught
+    /// across module boundaries.
+    pub hash_fns: BTreeSet<String>,
+}
+
+impl<'a> Context<'a> {
+    pub fn build(config: &'a LintConfig, files: &[SourceFile]) -> Context<'a> {
+        let hash_types: BTreeSet<&str> = hash_type_names(config).collect();
+        let mut hash_fns = BTreeSet::new();
+        for file in files {
+            let s = &file.sig;
+            for k in 0..s.len() {
+                if !file.tok(k).is_ident("fn") || k + 1 >= s.len() {
+                    continue;
+                }
+                let name = file.tok(k + 1);
+                if name.kind != TokKind::Ident {
+                    continue;
+                }
+                // Scan the signature up to its body/terminator for a hash
+                // type mentioned after `->`.
+                let mut seen_arrow = false;
+                for j in k + 2..(k + 80).min(s.len()) {
+                    let t = file.tok(j);
+                    if t.is_punct("{") || t.is_punct(";") {
+                        break;
+                    }
+                    if t.is_punct("->") {
+                        seen_arrow = true;
+                    } else if seen_arrow
+                        && t.kind == TokKind::Ident
+                        && hash_types.contains(t.text.as_str())
+                    {
+                        hash_fns.insert(name.text.clone());
+                        break;
+                    }
+                }
+            }
+        }
+        Context { config, hash_fns }
+    }
+}
+
+/// The configured hash-collection type names (default `HashMap`/`HashSet`).
+pub fn hash_type_names(config: &LintConfig) -> impl Iterator<Item = &str> {
+    let configured = config.list("rules.nondeterministic-iteration", "hash_types");
+    if configured.is_empty() {
+        ["HashMap", "HashSet"].to_vec().into_iter()
+    } else {
+        configured.iter().map(String::as_str).collect::<Vec<_>>().into_iter()
+    }
+}
+
+/// A lint rule.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>);
+}
+
+/// The full rule set, in [`RULE_NAMES`] order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(iteration::NondeterministicIteration),
+        Box::new(wallclock::WallClock),
+        Box::new(entropy::UnseededEntropy),
+        Box::new(drops::UntypedDrop),
+        Box::new(wildcard::WildcardDefenseMatch),
+        Box::new(unsafe_code::UnsafeCode),
+    ]
+}

@@ -1,0 +1,43 @@
+//! Rule `unsafe-code`: every crate root must carry
+//! `#![forbid(unsafe_code)]` (or `deny`). The simulation's determinism
+//! claims are memory-safety claims too; a crate that quietly admits
+//! `unsafe` gets to break both. The finding anchors to the crate root's
+//! first significant token so a justified `lint:allow` placed above the
+//! inner attributes can waive it.
+
+use super::{Context, Rule, SourceFile};
+use crate::diag::Diagnostic;
+
+pub struct UnsafeCode;
+
+impl Rule for UnsafeCode {
+    fn name(&self) -> &'static str {
+        "unsafe-code"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !file.is_crate_root {
+            return;
+        }
+        let s = &file.sig;
+        for k in 0..s.len() {
+            // `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`.
+            if file.tok(k).is_punct("#!")
+                && k + 5 < s.len()
+                && file.tok(k + 1).is_punct("[")
+                && (file.tok(k + 2).is_ident("forbid") || file.tok(k + 2).is_ident("deny"))
+                && file.tok(k + 3).is_punct("(")
+                && file.tok(k + 4).is_ident("unsafe_code")
+            {
+                return;
+            }
+        }
+        let line = s.first().map(|&i| file.toks[i].line).unwrap_or(1);
+        out.push(Diagnostic::error(
+            self.name(),
+            &file.path,
+            line,
+            "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}

@@ -1,0 +1,104 @@
+//! Rule `wildcard-defense-match`: in systems/experiments code, a `match`
+//! that names `DefenseKind::…` or `DropCause::…` arms must not also carry
+//! a `_` arm — adding a sixth defense or a twelfth drop cause has to be a
+//! compile-review event at every dispatch site, never a silent
+//! fall-through. Matches over other types (tuples, options) are not the
+//! rule's business, so detection keys on the arm patterns, not the
+//! scrutinee: at least one arm path of the protected enums plus a
+//! top-level `_` arm fires.
+
+use super::{Context, Rule, SourceFile};
+use crate::diag::Diagnostic;
+
+pub struct WildcardDefenseMatch;
+
+const PROTECTED: [&str; 2] = ["DefenseKind", "DropCause"];
+
+impl Rule for WildcardDefenseMatch {
+    fn name(&self) -> &'static str {
+        "wildcard-defense-match"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !ctx.config.path_in("zones", "wildcard", &file.path) {
+            return;
+        }
+        let s = &file.sig;
+        for k in 0..s.len() {
+            if file.test_code(k) || !file.tok(k).is_ident("match") {
+                continue;
+            }
+            let Some(body) = match_body(file, k) else { continue };
+            let Some(close) = file.matching(body, "{", "}") else { continue };
+            let mut protected_arm = None;
+            let mut wildcard_line = None;
+            // Walk the arms at depth 1 inside the match body; `=>` at
+            // depth 1 separates a pattern from its expression.
+            let mut brace = 1i32;
+            let mut bracket = 0i32;
+            let mut in_pattern = true;
+            for j in body + 1..close {
+                let t = file.tok(j);
+                match t.text.as_str() {
+                    "{" if t.is_punct("{") => brace += 1,
+                    "}" if t.is_punct("}") => {
+                        brace -= 1;
+                        // Leaving a `{ … }` arm body returns to patterns.
+                        if brace == 1 {
+                            in_pattern = true;
+                        }
+                    }
+                    "(" | "[" if t.kind == crate::lexer::TokKind::Punct => bracket += 1,
+                    ")" | "]" if t.kind == crate::lexer::TokKind::Punct => bracket -= 1,
+                    "," if t.is_punct(",") && brace == 1 && bracket == 0 => in_pattern = true,
+                    "=>" if t.is_punct("=>") && brace == 1 && bracket == 0 => in_pattern = false,
+                    _ => {}
+                }
+                if !(in_pattern && brace == 1 && bracket == 0) {
+                    continue;
+                }
+                if t.kind == crate::lexer::TokKind::Ident
+                    && PROTECTED.contains(&t.text.as_str())
+                    && j + 1 < close
+                    && file.tok(j + 1).is_punct("::")
+                {
+                    protected_arm = Some(t.text.clone());
+                }
+                if t.is_ident("_")
+                    && j + 1 < close
+                    && (file.tok(j + 1).is_punct("=>")
+                        || file.tok(j + 1).is_punct("|")
+                        || file.tok(j + 1).is_ident("if"))
+                {
+                    wildcard_line = Some(t.line);
+                }
+            }
+            if let (Some(enum_name), Some(line)) = (protected_arm, wildcard_line) {
+                out.push(Diagnostic::error(
+                    self.name(),
+                    &file.path,
+                    line,
+                    format!(
+                        "wildcard `_` arm in a match over `{enum_name}`; enumerate every variant so new defenses/causes cannot silently fall through"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The sig-position of the `{` opening the body of the `match` at `k`
+/// (the scrutinee cannot contain a top-level `{`).
+fn match_body(file: &SourceFile, k: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in k + 1..(k + 200).min(file.sig.len()) {
+        let t = file.tok(j);
+        match t.text.as_str() {
+            "(" | "[" if t.kind == crate::lexer::TokKind::Punct => depth += 1,
+            ")" | "]" if t.kind == crate::lexer::TokKind::Punct => depth -= 1,
+            "{" if t.is_punct("{") && depth == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,160 @@
+//! Golden fixture tests: one failing and one passing fixture per rule
+//! (`fixtures/<rule>/{fail,pass}.rs`), the zone exemptions, the
+//! acceptance scenario from the issue (reintroducing hash iteration into
+//! `crates/experiments/src/record.rs` must be flagged under the real
+//! `lint.toml`), and the workspace-clean gate itself.
+
+use std::path::Path;
+
+use netfence_lint::config::LintConfig;
+use netfence_lint::rules::RULE_NAMES;
+use netfence_lint::workspace::FileInput;
+use netfence_lint::{check_files, check_workspace, Report};
+
+/// The zone config the fixtures are analyzed under: everything is on the
+/// export path and wildcard-protected; `fixtures/bench` is the bench zone.
+const FIXTURE_CONFIG: &str = r#"
+[zones]
+export = ["fixtures"]
+bench = ["fixtures/bench"]
+wildcard = ["fixtures"]
+"#;
+
+fn fixture_source(rule: &str, which: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(format!("{which}.rs"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Analyze one fixture under `FIXTURE_CONFIG` at a virtual `path`.
+fn check_fixture(rule: &str, which: &str, path: &str, is_crate_root: bool) -> Report {
+    let config = LintConfig::parse(FIXTURE_CONFIG).unwrap();
+    let files =
+        [FileInput { path: path.to_string(), source: fixture_source(rule, which), is_crate_root }];
+    check_files(&files, &config)
+}
+
+fn unsuppressed<'a>(report: &'a Report, rule: &str) -> Vec<&'a netfence_lint::diag::Diagnostic> {
+    report.diagnostics.iter().filter(|d| d.rule == rule && d.suppressed_by.is_none()).collect()
+}
+
+#[test]
+fn every_rule_has_a_failing_and_a_passing_fixture() {
+    for rule in RULE_NAMES {
+        let is_root = rule == "unsafe-code";
+
+        let fail = check_fixture(rule, "fail", &format!("fixtures/{rule}/fail.rs"), is_root);
+        assert!(
+            !unsuppressed(&fail, rule).is_empty(),
+            "{rule}: fail.rs produced no `{rule}` finding:\n{}",
+            render(&fail)
+        );
+        for other in RULE_NAMES {
+            if other != rule {
+                assert!(
+                    unsuppressed(&fail, other).is_empty(),
+                    "{rule}: fail.rs leaked a `{other}` finding:\n{}",
+                    render(&fail)
+                );
+            }
+        }
+
+        let pass = check_fixture(rule, "pass", &format!("fixtures/{rule}/pass.rs"), is_root);
+        assert_eq!(pass.errors(), 0, "{rule}: pass.rs has errors:\n{}", render(&pass));
+        assert_eq!(pass.warnings(), 0, "{rule}: pass.rs has warnings:\n{}", render(&pass));
+    }
+}
+
+/// The same wall-clock violations are legal inside the bench zone.
+#[test]
+fn bench_zone_exempts_wall_clock() {
+    let report = check_fixture("wall-clock", "fail", "fixtures/bench/fail.rs", false);
+    assert_eq!(report.errors(), 0, "bench zone still flagged:\n{}", render(&report));
+}
+
+/// Outside the export zone the iteration rule stays quiet (the file is
+/// not on any path that feeds a `Record`).
+#[test]
+fn export_zone_gates_iteration() {
+    let config = LintConfig::parse("[zones]\nexport = [\"fixtures\"]\n").unwrap();
+    let files = [FileInput {
+        path: "elsewhere/fail.rs".to_string(),
+        source: fixture_source("nondeterministic-iteration", "fail"),
+        is_crate_root: false,
+    }];
+    let report = check_files(&files, &config);
+    assert!(unsuppressed(&report, "nondeterministic-iteration").is_empty());
+}
+
+/// The issue's acceptance scenario: deliberately reintroduce a HashMap
+/// iteration into `crates/experiments/src/record.rs` and analyze it
+/// under the repository's real `lint.toml` — the gate must fail.
+#[test]
+fn reintroduced_hash_iteration_in_record_rs_is_flagged() {
+    let root = workspace_root();
+    let config_text = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let config = LintConfig::parse(&config_text).unwrap();
+    let regression = r#"
+use std::collections::HashMap;
+
+pub fn summarize(per_flow: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut rows = Vec::new();
+    for (flow, bytes) in per_flow.iter() {
+        rows.push((*flow, *bytes));
+    }
+    rows
+}
+"#;
+    let files = [FileInput {
+        path: "crates/experiments/src/record.rs".to_string(),
+        source: regression.to_string(),
+        is_crate_root: false,
+    }];
+    let report = check_files(&files, &config);
+    assert!(
+        !unsuppressed(&report, "nondeterministic-iteration").is_empty(),
+        "record.rs regression was not flagged:\n{}",
+        render(&report)
+    );
+}
+
+/// An allow comment with an empty reason is itself an error, and an
+/// allow naming an unknown rule is too — the escape hatch cannot be used
+/// to silently disable the gate.
+#[test]
+fn allow_policy_is_enforced_on_fixtures() {
+    let config = LintConfig::parse(FIXTURE_CONFIG).unwrap();
+    let source =
+        "// lint:allow(wall-clock):\n// lint:allow(no-such-rule): because\npub fn f() {}\n";
+    let files = [FileInput {
+        path: "fixtures/policy.rs".to_string(),
+        source: source.to_string(),
+        is_crate_root: false,
+    }];
+    let report = check_files(&files, &config);
+    assert!(!unsuppressed(&report, "unjustified-allow").is_empty(), "{}", render(&report));
+    assert!(!unsuppressed(&report, "unknown-rule").is_empty(), "{}", render(&report));
+}
+
+/// The gate CI runs: the workspace itself is clean.
+#[test]
+fn workspace_is_clean() {
+    let report = check_workspace(&workspace_root()).unwrap();
+    let offending: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.suppressed_by.is_none())
+        .map(|d| d.render())
+        .collect();
+    assert!(offending.is_empty(), "workspace not lint-clean:\n{}", offending.join("\n"));
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn render(report: &Report) -> String {
+    report.diagnostics.iter().map(|d| d.render()).collect::<Vec<_>>().join("\n")
+}

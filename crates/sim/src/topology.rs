@@ -230,6 +230,7 @@ impl Network {
 
     /// All host addresses in the network.
     pub fn hosts(&self) -> Vec<HostAddr> {
+        // lint:allow(nondeterministic-iteration): collected then sorted on the next line — callers only ever see key order
         let mut v: Vec<HostAddr> = self.host_index.keys().copied().collect();
         v.sort_unstable();
         v

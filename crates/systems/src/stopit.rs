@@ -21,7 +21,7 @@
 //! as a resumed flood until the refresh crosses the control plane. The
 //! default TTL of 0 keeps the legacy permanent-filter behavior.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use netfence_ctrl::policy::PolicyStore;
 use netfence_sim::deploy::{
@@ -49,9 +49,11 @@ pub struct FilterRequest {
 pub struct StopItDefense {
     /// Receivers that automatically file a filter request against every
     /// sender not on their whitelist (the victim behaviour in §6.3.1).
-    auto_filter_victims: HashSet<HostAddr>,
+    auto_filter_victims: BTreeSet<HostAddr>,
     /// Senders a victim accepts (never filtered): (sender, victim).
-    whitelist: HashSet<(HostAddr, HostAddr)>,
+    /// BTreeSet: deploy() sweeps this per host, and per-host shim state
+    /// must never depend on hash order.
+    whitelist: BTreeSet<(HostAddr, HostAddr)>,
     /// Filters to pre-install at deploy time.
     preinstalled: Vec<FilterRequest>,
     /// Whether inter-router links use the hierarchical fair-queuing
@@ -185,7 +187,7 @@ impl QueueFactory for StopItQueues {
 #[derive(Debug)]
 struct StopItHostShim {
     auto_filter: bool,
-    whitelist: HashSet<HostAddr>,
+    whitelist: BTreeSet<HostAddr>,
     /// Sender → time of the last filed request. With permanent filters
     /// (ttl 0) one request suffices; with a TTL the victim re-requests
     /// when leaked traffic shows the filter lapsed.

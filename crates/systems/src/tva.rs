@@ -24,7 +24,7 @@
 //! cryptographic tokens; the cryptographic machinery is NetFence-specific
 //! and is implemented in `netfence-core`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use netfence_ctrl::policy::PolicyStore;
 use netfence_sim::deploy::{
@@ -47,10 +47,12 @@ const CAPABILITY_LIFETIME: Nanos = 10 * SEC;
 pub struct TvaDefense {
     /// Receivers that refuse to grant capabilities to non-whitelisted
     /// senders (victims).
-    deny_by_default: HashSet<HostAddr>,
+    deny_by_default: BTreeSet<HostAddr>,
     /// Senders explicitly allowed at a deny-by-default receiver:
     /// (sender, receiver).
-    whitelist: HashSet<(HostAddr, HostAddr)>,
+    /// BTreeSet: deploy() sweeps this per host, and per-host shim state
+    /// must never depend on hash order.
+    whitelist: BTreeSet<(HostAddr, HostAddr)>,
     /// How long a granted capability remains valid before the sender must
     /// obtain a fresh grant.
     capability_lifetime: Nanos,
@@ -59,8 +61,8 @@ pub struct TvaDefense {
 impl Default for TvaDefense {
     fn default() -> Self {
         TvaDefense {
-            deny_by_default: HashSet::new(),
-            whitelist: HashSet::new(),
+            deny_by_default: BTreeSet::new(),
+            whitelist: BTreeSet::new(),
             capability_lifetime: CAPABILITY_LIFETIME,
         }
     }
@@ -169,7 +171,7 @@ impl QueueFactory for TvaQueues {
 struct TvaHostShim {
     deny_by_default: bool,
     /// Senders this receiver always grants.
-    whitelist: HashSet<HostAddr>,
+    whitelist: BTreeSet<HostAddr>,
     /// Capabilities granted by this receiver, TTL'd by the configured
     /// lifetime; lapsed grants are purged on tick and counted in the
     /// report's `rules_expired`.

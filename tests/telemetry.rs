@@ -45,6 +45,23 @@ proptest! {
         proptest::prop_assert_eq!(plain, traced);
     }
 
+    /// Observers stay pure against *adaptive* attackers too: for every
+    /// `AttackStrategy` in the tournament lineup, full telemetry
+    /// reproduces the observer-free `Record` byte-for-byte. Stateful
+    /// strategies (probing, rolling targets) react to what the simulation
+    /// does, so any observer that nudged the simulation would show up
+    /// here as a diverging record.
+    #[test]
+    fn observers_never_change_the_record_under_any_strategy(seed in 1u64..32, kind_idx in 0u8..5, strat_idx in 0u8..5) {
+        let lineup = AttackStrategy::lineup(750_000);
+        let strategy = lineup[strat_idx as usize % lineup.len()];
+        let kind = kind_of(kind_idx);
+        let plain = Runner::new(spec(kind, seed).adversary(strategy)).run();
+        let traced =
+            Runner::new(spec(kind, seed).adversary(strategy).traced(TelemetryConfig::full(0))).run();
+        proptest::prop_assert_eq!(plain, traced);
+    }
+
     /// The report's drop budget always accounts for every drop the engine
     /// counted, regardless of defense or seed.
     #[test]
