@@ -1,0 +1,56 @@
+//! Chaos smoke bench: times one chaos-sweep cell, then records the
+//! *measured* fault metrics — worst-case recovery (simulated seconds,
+//! censored at run end) and availability under the fault — per
+//! (system × fault kind) point into the merged `BENCH_results.json` via
+//! [`criterion::record_value`], so the recovery surface is tracked
+//! alongside the wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netfence_experiments::chaos::{
+    run_chaos_cell, ChaosFault, ChaosPoint, ChaosTopology, Severity,
+};
+use netfence_experiments::{DefenseKind, Scale};
+use netfence_sim::time::SEC;
+
+fn smoke_scale() -> Scale {
+    Scale { src_ases: 3, hosts_per_as: 3, sim_time: 25 * SEC, seed: 7 }
+}
+
+fn point(fault: ChaosFault) -> ChaosPoint {
+    ChaosPoint { topology: ChaosTopology::Dumbbell, fault, severity: Severity::Mild }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("cell_netfence_reboot", |b| {
+        b.iter(|| {
+            let o = run_chaos_cell(
+                &smoke_scale(),
+                DefenseKind::NetFence,
+                point(ChaosFault::RouterReboot),
+            );
+            std::hint::black_box(o.avg_user_bps)
+        })
+    });
+    g.finish();
+
+    // The derived metrics: worst-case recovery and availability per
+    // (system × mild fault) on the dumbbell (-1 = metric unavailable).
+    for system in [DefenseKind::NetFence, DefenseKind::Fq] {
+        for fault in [ChaosFault::LinkFailure, ChaosFault::RouterReboot, ChaosFault::KeyDesync] {
+            let o = run_chaos_cell(&smoke_scale(), system, point(fault));
+            let id = format!("{}_{}", system.label(), fault.label());
+            criterion::record_value(
+                "chaos_worst_recovery_secs",
+                &id,
+                o.worst_recovery_secs.unwrap_or(-1.0),
+                1,
+            );
+            criterion::record_value("chaos_availability", &id, o.availability.unwrap_or(-1.0), 1);
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -175,6 +175,16 @@ impl AccessRouter {
         self.as_keys.remove(peer.0)
     }
 
+    /// Replace the router's time-varying secret `Ka` with one derived from
+    /// `new_root`. Feedback stamped under the old secret immediately fails
+    /// validation (§4.4 makes unverifiable feedback indistinguishable from
+    /// absent feedback), so a rotation — or a fault-injected key desync —
+    /// surfaces as typed `invalid-mac` demotions until freshly stamped
+    /// feedback circulates back.
+    pub fn rotate_secret(&mut self, new_root: [u8; 16]) {
+        self.ka = TimeVaryingSecret::new(new_root);
+    }
+
     /// Give a host a larger request-token refill rate (e.g. a busy server).
     pub fn set_request_multiplier(&mut self, host: HostId, multiplier: f64) {
         self.request_multipliers.insert(host, multiplier);

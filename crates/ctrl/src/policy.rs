@@ -23,6 +23,8 @@ pub struct PolicyStats {
     pub expired: u64,
     /// Installs rejected because the store was at capacity.
     pub rejected: u64,
+    /// Rules forcibly evicted before their TTL (memory pressure).
+    pub evicted: u64,
 }
 
 /// A per-AS (or per-agent) store of TTL'd policy rules.
@@ -53,6 +55,11 @@ impl<K: Ord> PolicyStore<K> {
     /// The configured TTL (0 = rules never expire).
     pub fn ttl(&self) -> Nanos {
         self.ttl
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Install or refresh a rule at time `now`. Returns `false` when the
@@ -102,6 +109,29 @@ impl<K: Ord> PolicyStore<K> {
         }
         self.stats.expired += dead.len() as u64;
         dead
+    }
+
+    /// Forcibly evict up to `n` rules before their TTL (a memory-pressure
+    /// fault), returning the evicted keys so callers can tear down derived
+    /// state. Victims are chosen earliest-expiry first — the rules closest
+    /// to dying anyway — with ties broken in key order, so the eviction
+    /// sequence is fully deterministic.
+    pub fn evict_oldest(&mut self, n: usize) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut victims: Vec<(Nanos, K)> =
+            self.entries.iter().map(|(k, &e)| (e, k.clone())).collect();
+        // BTreeMap iteration is already key-ordered, so a stable sort on
+        // expiry keeps the key-order tiebreak.
+        victims.sort_by_key(|(e, _)| *e);
+        victims.truncate(n);
+        let evicted: Vec<K> = victims.into_iter().map(|(_, k)| k).collect();
+        for k in &evicted {
+            self.entries.remove(k);
+        }
+        self.stats.evicted += evicted.len() as u64;
+        evicted
     }
 
     /// Number of stored rules (live and expired-but-unpurged).
@@ -158,5 +188,71 @@ mod tests {
         // Expiry frees capacity.
         s.purge(SEC);
         assert!(s.insert(SEC, 3));
+    }
+
+    #[test]
+    fn forced_eviction_is_deterministic_and_earliest_expiry_first() {
+        let mut s: PolicyStore<u32> = PolicyStore::new(10 * SEC, 0);
+        // Stagger expiries: key 5 dies first, then 1, then 9. Keys 2 and 7
+        // share an expiry — the key-order tiebreak must evict 2 before 7.
+        s.insert(0, 5);
+        s.insert(SEC, 1);
+        s.insert(2 * SEC, 9);
+        s.insert(3 * SEC, 2);
+        s.insert(3 * SEC, 7);
+        assert_eq!(s.evict_oldest(2), vec![5, 1]);
+        assert_eq!(s.evict_oldest(2), vec![9, 2]);
+        assert_eq!(s.stats.evicted, 4);
+        assert_eq!(s.len(), 1);
+        // Asking for more than remains evicts what's there and stops.
+        assert_eq!(s.evict_oldest(10), vec![7]);
+        assert!(s.is_empty());
+        assert_eq!(s.evict_oldest(3), Vec::<u32>::new());
+        assert_eq!(s.stats.evicted, 5);
+    }
+
+    #[test]
+    fn capacity_boundary_under_ttl_churn() {
+        // A store pinned at capacity while TTLs churn: rejected installs
+        // must not displace residents, refreshes must not consume slots,
+        // and each purge frees exactly the lapsed slots.
+        let mut s: PolicyStore<u32> = PolicyStore::new(2 * SEC, 3);
+        assert!(s.insert(0, 10));
+        assert!(s.insert(SEC, 20));
+        assert!(s.insert(SEC, 30));
+        // At capacity: a new key bounces, even while a resident is mid-TTL.
+        assert!(!s.insert(SEC, 40));
+        // Refreshing at the boundary keeps the store full but is allowed.
+        assert!(s.insert(SEC, 10));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.stats.rejected, 1);
+        // Key 10 was refreshed at 1s (expiry 3s); 20 and 30 lapse at 3s
+        // too — purge at 3s clears all three deterministically, in key
+        // order.
+        assert_eq!(s.purge(3 * SEC), vec![10, 20, 30]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reinsertion_after_purge_is_indistinguishable_from_first_insertion() {
+        let churn = |s: &mut PolicyStore<u32>, base: Nanos| {
+            assert!(s.insert(base, 1));
+            assert!(s.insert(base, 2));
+            assert!(!s.insert(base, 3), "capacity 2");
+            assert!(s.contains(base + SEC, &1));
+            assert_eq!(s.purge(base + 2 * SEC), vec![1, 2]);
+        };
+        // First generation...
+        let mut s: PolicyStore<u32> = PolicyStore::new(2 * SEC, 2);
+        churn(&mut s, 0);
+        let first = s.stats;
+        // ...and an identical second generation after the purge: the store
+        // behaves exactly like a fresh one (same accepts/rejects/expiry),
+        // and the counters advance by exactly one generation's worth.
+        churn(&mut s, 10 * SEC);
+        assert_eq!(s.stats.installed, 2 * first.installed);
+        assert_eq!(s.stats.rejected, 2 * first.rejected);
+        assert_eq!(s.stats.expired, 2 * first.expired);
+        assert_eq!(s.expiry_of(&1), None);
     }
 }

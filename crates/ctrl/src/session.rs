@@ -82,6 +82,11 @@ impl Session {
 /// `start + b + 2b`, …, each delay doubling and capped at `backoff_max`.
 /// Returns `(attempts, reconnect_instant)` — the count and time of the
 /// first retry at or after `end`.
+///
+/// All arithmetic saturates: a pathological outage (or an adversarially
+/// large `backoff_max`) walks the retry clock toward `Nanos::MAX` instead
+/// of overflowing, and the doubling itself cannot wrap before the cap
+/// clamps it.
 pub fn reconnect_schedule(cfg: SessionConfig, start: Nanos, end: Nanos) -> (u32, Nanos) {
     let base = cfg.backoff_base.max(1);
     let cap = cfg.backoff_max.max(base);
@@ -89,12 +94,12 @@ pub fn reconnect_schedule(cfg: SessionConfig, start: Nanos, end: Nanos) -> (u32,
     let mut delay = base;
     let mut attempt = 0u32;
     loop {
-        t += delay;
+        t = t.saturating_add(delay);
         attempt += 1;
         if t >= end {
             return (attempt, t);
         }
-        delay = (delay * 2).min(cap);
+        delay = delay.saturating_mul(2).min(cap);
     }
 }
 
@@ -129,6 +134,26 @@ mod tests {
         // the reconnect lands within one cap of the outage end.
         let (_, at) = reconnect_schedule(cfg(), 0, 100 * SEC);
         assert!((100 * SEC..108 * SEC).contains(&at), "reconnect at {at}");
+    }
+
+    #[test]
+    fn pathological_outage_saturates_instead_of_overflowing() {
+        // An outage pinned against the end of representable time with an
+        // uncapped doubling schedule: the retry clock saturates at
+        // `Nanos::MAX` rather than wrapping (which would return a retry
+        // instant *before* the outage began).
+        let big = SessionConfig { backoff_base: SEC, backoff_max: Nanos::MAX };
+        let (attempts, at) = reconnect_schedule(big, Nanos::MAX - SEC, Nanos::MAX);
+        assert_eq!(at, Nanos::MAX);
+        assert!(attempts >= 1);
+        // A multi-hour outage under the default cap still reconnects
+        // within one cap of the outage end.
+        let six_hours = 6 * 3600 * SEC;
+        let (_, at) = reconnect_schedule(cfg(), 0, six_hours);
+        assert!(
+            (six_hours..six_hours + 8 * SEC).contains(&at),
+            "reconnect at {at} for a {six_hours}ns outage"
+        );
     }
 
     #[test]

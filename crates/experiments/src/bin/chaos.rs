@@ -1,0 +1,119 @@
+//! Chaos sweep: defense × fault kind × severity, with per-cell worst-case
+//! recovery time and availability under the fault.
+//!
+//! `--quick` shrinks the grid to a dumbbell/mild smoke pass. `--trace`
+//! runs one NetFence reboot cell with observer telemetry enabled instead
+//! of the sweep: it prints the fault timeline marks and writes the
+//! timeline probes (including the `fault` series) and sampled packet
+//! flight records as JSONL under `target/telemetry/`.
+use netfence_experiments::chaos::{
+    chaos_spec, default_points, quick_points, run_chaos_sweep, ChaosFault, ChaosPoint,
+    ChaosTopology, Severity, FAULT_AT, SYSTEMS,
+};
+use netfence_experiments::prelude::*;
+use netfence_experiments::report::{kbps, pct, render_table};
+use netfence_sim::time::SEC;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
+    let mut scale = if quick { Scale::tiny() } else { Scale::default_scale() };
+    scale.sim_time = if quick { 25 * SEC } else { 60 * SEC };
+    if trace {
+        run_traced(&scale);
+        return;
+    }
+    let points = if quick { quick_points() } else { default_points() };
+    println!(
+        "Chaos sweep: faults at {}s, {} cells, {} senders per cell, {}s simulated\n",
+        FAULT_AT / SEC,
+        points.len() * SYSTEMS.len(),
+        scale.senders(),
+        scale.sim_time / SEC
+    );
+    let outcomes = run_chaos_sweep(&scale, &SYSTEMS, &points);
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.point.topology.label().to_string(),
+                o.point.fault.label().to_string(),
+                o.point.severity.label().to_string(),
+                o.system.label().to_string(),
+                match o.worst_recovery_secs {
+                    Some(s) => format!("{s:.1}"),
+                    None => "-".to_string(),
+                },
+                match o.availability {
+                    Some(a) => pct(a),
+                    None => "-".to_string(),
+                },
+                kbps(o.avg_user_bps),
+                kbps(o.avg_attacker_bps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "topology",
+                "fault",
+                "severity",
+                "system",
+                "worst recovery (s)",
+                "availability",
+                "user kbps",
+                "attacker kbps"
+            ],
+            &rows
+        )
+    );
+}
+
+/// One telemetry-instrumented NetFence reboot cell.
+fn run_traced(scale: &Scale) {
+    let point = ChaosPoint {
+        topology: ChaosTopology::Dumbbell,
+        fault: ChaosFault::RouterReboot,
+        severity: Severity::Mild,
+    };
+    let spec = chaos_spec(scale, DefenseKind::NetFence, &point).traced(TelemetryConfig::full(4));
+    let (record, dump) = Runner::new(spec).run_with_telemetry();
+    println!("Chaos (NetFence reboot cell, traced)\n");
+    for (i, w) in record.faults.iter().enumerate() {
+        println!(
+            "fault {}: {} at {}s, cleared {}s, recovery {}",
+            i,
+            w.kind,
+            w.at / SEC,
+            w.clear_at / SEC,
+            match record.fault_recovery_secs(i) {
+                Some(s) => format!("{s:.1}s"),
+                None => "never".to_string(),
+            }
+        );
+    }
+    println!(
+        "worst recovery: {:?}s, availability: {:?}",
+        record.worst_fault_recovery_secs(),
+        record.availability()
+    );
+    let fault_rows =
+        dump.timeline_jsonl.lines().filter(|l| l.contains("\"series\":\"fault\"")).count();
+    println!(
+        "timeline: {} rows ({} fault marks, {} evicted); trace: {} hop events ({} evicted)",
+        dump.timeline_rows,
+        fault_rows,
+        dump.timeline_evicted,
+        dump.trace_events,
+        dump.trace_evicted
+    );
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir).expect("create target/telemetry");
+    let timeline_path = dir.join("chaos_timeline.jsonl");
+    let trace_path = dir.join("chaos_trace.jsonl");
+    std::fs::write(&timeline_path, &dump.timeline_jsonl).expect("write timeline jsonl");
+    std::fs::write(&trace_path, &dump.trace_jsonl).expect("write trace jsonl");
+    println!("wrote {} and {}", timeline_path.display(), trace_path.display());
+}

@@ -1,0 +1,318 @@
+//! The chaos sweep: defense × fault kind × severity, on the dumbbell and
+//! internet topologies.
+//!
+//! Each cell runs a standard attacked scenario (demand-bounded users,
+//! CBR flood) with one deterministic [`FaultPlan`] injected mid-run —
+//! link failure, router reboot, key desync, clock skew or memory
+//! pressure, at a mild or severe dose — and folds the record's fault
+//! metrics into a [`ChaosOutcome`]: the worst-case time back to a
+//! sustained 90% of pre-fault goodput ([`Record::worst_fault_recovery_secs`])
+//! and the availability fraction under the fault
+//! ([`Record::availability`]). NetFence runs with a key TTL so its
+//! routers keep re-announcing keys — the refresh traffic a rebooted or
+//! desynced router recovers through; defenses that keep no distributed
+//! state (FQ) calibrate the pure data-path recovery floor.
+
+use netfence_ctrl::prelude::*;
+use netfence_faults::{FaultPlan, FaultTarget};
+use netfence_sim::prelude::*;
+
+use crate::prelude::*;
+
+/// When the fault hits: late enough that users, attackers and the defense
+/// have all reached steady state, so a clean pre-fault baseline exists.
+pub const FAULT_AT: Nanos = 10 * SEC;
+
+/// The key TTL every NetFence chaos cell runs with — the re-announcement
+/// cadence (TTL/2) bounds how long a rebooted router waits for the key
+/// table it re-bootstraps from.
+pub const KEY_TTL: Nanos = 4 * SEC;
+
+/// Which topology a chaos cell runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosTopology {
+    /// The paper's dumbbell.
+    Dumbbell,
+    /// The generated transit-stub internet.
+    Internet,
+}
+
+impl ChaosTopology {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosTopology::Dumbbell => "dumbbell",
+            ChaosTopology::Internet => "internet",
+        }
+    }
+}
+
+/// The fault families the sweep injects (parameter-free names; the dose
+/// comes from [`Severity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosFault {
+    /// An inter-router link goes dark, both directions.
+    LinkFailure,
+    /// A router loses all volatile defense state.
+    RouterReboot,
+    /// A router's time-varying secret rotates out from under held stamps.
+    KeyDesync,
+    /// A router's protocol clock runs off engine time.
+    ClockSkew,
+    /// A forced eviction burst in a router's policy store.
+    MemoryPressure,
+}
+
+impl ChaosFault {
+    /// Every fault family.
+    pub const ALL: [ChaosFault; 5] = [
+        ChaosFault::LinkFailure,
+        ChaosFault::RouterReboot,
+        ChaosFault::KeyDesync,
+        ChaosFault::ClockSkew,
+        ChaosFault::MemoryPressure,
+    ];
+
+    /// Display label (matches the fault plan's telemetry labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosFault::LinkFailure => "link-failure",
+            ChaosFault::RouterReboot => "reboot",
+            ChaosFault::KeyDesync => "key-desync",
+            ChaosFault::ClockSkew => "clock-skew",
+            ChaosFault::MemoryPressure => "memory-pressure",
+        }
+    }
+}
+
+/// How hard the fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// A single short event.
+    Mild,
+    /// Longer outages / repeated hits / larger doses.
+    Severe,
+}
+
+impl Severity {
+    /// Both doses.
+    pub const ALL: [Severity; 2] = [Severity::Mild, Severity::Severe];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Mild => "mild",
+            Severity::Severe => "severe",
+        }
+    }
+}
+
+/// One sweep point: where, what, how hard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChaosPoint {
+    /// The topology the cell runs on.
+    pub topology: ChaosTopology,
+    /// The fault family injected.
+    pub fault: ChaosFault,
+    /// The dose.
+    pub severity: Severity,
+}
+
+/// The deterministic fault plan of one `(fault, severity)` dose. Targets
+/// are [`FaultTarget::Random`]: seeded by the scenario, drawn from the
+/// dedicated fault substream, valid on any topology with routers.
+pub fn chaos_plan(fault: ChaosFault, severity: Severity) -> FaultPlan {
+    let mut p = FaultPlan::empty();
+    let t = FaultTarget::Random;
+    match (fault, severity) {
+        (ChaosFault::LinkFailure, Severity::Mild) => {
+            p.link_failure(t, FAULT_AT, FAULT_AT + 2 * SEC);
+        }
+        (ChaosFault::LinkFailure, Severity::Severe) => {
+            p.link_failure(t, FAULT_AT, FAULT_AT + 8 * SEC);
+        }
+        (ChaosFault::RouterReboot, Severity::Mild) => {
+            p.router_reboot(t, FAULT_AT);
+        }
+        (ChaosFault::RouterReboot, Severity::Severe) => {
+            p.router_reboot(t, FAULT_AT).router_reboot(t, FAULT_AT + 4 * SEC);
+        }
+        (ChaosFault::KeyDesync, Severity::Mild) => {
+            p.key_desync(t, FAULT_AT);
+        }
+        (ChaosFault::KeyDesync, Severity::Severe) => {
+            p.key_desync(t, FAULT_AT)
+                .key_desync(t, FAULT_AT + 2 * SEC)
+                .key_desync(t, FAULT_AT + 4 * SEC);
+        }
+        (ChaosFault::ClockSkew, Severity::Mild) => {
+            p.clock_skew(t, 100 * MILLI as i64, FAULT_AT, FAULT_AT + 4 * SEC);
+        }
+        (ChaosFault::ClockSkew, Severity::Severe) => {
+            p.clock_skew(t, 5 * SEC as i64, FAULT_AT, FAULT_AT + 8 * SEC);
+        }
+        (ChaosFault::MemoryPressure, Severity::Mild) => {
+            p.memory_pressure(t, 4, FAULT_AT);
+        }
+        (ChaosFault::MemoryPressure, Severity::Severe) => {
+            p.memory_pressure(t, 10_000, FAULT_AT);
+        }
+    }
+    p
+}
+
+/// The chaos scenario: demand-bounded users (50 kbps each, flat baseline),
+/// the remaining hosts 1 Mbps CBR attackers from the start, the defense at
+/// a 100 kbps per-sender fair share, the point's fault plan injected at
+/// [`FAULT_AT`], goodput sampled every second. NetFence keys carry
+/// [`KEY_TTL`] and all control messages ride the asynchronous (ideal)
+/// control-plane transport — the channel a rebooted router re-bootstraps
+/// through.
+pub fn chaos_spec(scale: &Scale, system: DefenseKind, point: &ChaosPoint) -> ScenarioSpec {
+    let base = match point.topology {
+        ChaosTopology::Dumbbell => ScenarioSpec::dumbbell(*scale),
+        ChaosTopology::Internet => ScenarioSpec::internet(*scale, InternetShape::default()),
+    };
+    base.named(format!(
+        "chaos-{}-{}-{}",
+        point.topology.label(),
+        point.fault.label(),
+        point.severity.label()
+    ))
+    .defense(system)
+    .key_ttl(KEY_TTL)
+    .fair_share(100_000)
+    .legit_per_as(1)
+    .users(TrafficSpec::cbr(50_000))
+    .user_start(StartSchedule::staggered(10, 100 * MILLI))
+    .attackers(TrafficSpec::cbr(1_000_000), AttackTarget::Victim)
+    .control(CtrlConfig::ideal())
+    .fault_plan(chaos_plan(point.fault, point.severity))
+    .sampled(SEC)
+}
+
+/// One measured cell of the chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The defense system.
+    pub system: DefenseKind,
+    /// Where, what, how hard.
+    pub point: ChaosPoint,
+    /// Worst-case recovery across the plan's fault windows, seconds
+    /// (censored at the end of the run when a window never recovers).
+    pub worst_recovery_secs: Option<f64>,
+    /// Fraction of post-fault sample windows holding ≥ 90% of the
+    /// pre-fault goodput baseline.
+    pub availability: Option<f64>,
+    /// Average legitimate-user goodput over the whole run, bits/second.
+    pub avg_user_bps: f64,
+    /// Average attacker goodput over the whole run, bits/second.
+    pub avg_attacker_bps: f64,
+}
+
+/// The systems the sweep compares (all four deployed defenses).
+pub const SYSTEMS: [DefenseKind; 4] = DefenseKind::ALL;
+
+/// The full point grid: both topologies × every fault × both severities.
+pub fn default_points() -> Vec<ChaosPoint> {
+    let mut v = Vec::new();
+    for topology in [ChaosTopology::Dumbbell, ChaosTopology::Internet] {
+        for fault in ChaosFault::ALL {
+            for severity in Severity::ALL {
+                v.push(ChaosPoint { topology, fault, severity });
+            }
+        }
+    }
+    v
+}
+
+/// A short smoke grid (CI): dumbbell only, mild doses only.
+pub fn quick_points() -> Vec<ChaosPoint> {
+    ChaosFault::ALL
+        .iter()
+        .map(|&fault| ChaosPoint {
+            topology: ChaosTopology::Dumbbell,
+            fault,
+            severity: Severity::Mild,
+        })
+        .collect()
+}
+
+fn to_outcome(system: DefenseKind, point: ChaosPoint, r: &Record) -> ChaosOutcome {
+    ChaosOutcome {
+        system,
+        point,
+        worst_recovery_secs: r.worst_fault_recovery_secs(),
+        availability: r.availability(),
+        avg_user_bps: r.avg_user_bps(),
+        avg_attacker_bps: r.avg_attacker_bps(),
+    }
+}
+
+/// Run one (system × point) cell.
+pub fn run_chaos_cell(scale: &Scale, system: DefenseKind, point: ChaosPoint) -> ChaosOutcome {
+    let r = Runner::new(chaos_spec(scale, system, &point)).run();
+    to_outcome(system, point, &r)
+}
+
+/// Run a chaos sweep (cells in parallel; point-major order).
+pub fn run_chaos_sweep(
+    scale: &Scale,
+    systems: &[DefenseKind],
+    points: &[ChaosPoint],
+) -> Vec<ChaosOutcome> {
+    SweepGrid::new(systems.to_vec(), points.to_vec())
+        .run_auto(|system, p| chaos_spec(scale, system, p))
+        .iter()
+        .map(|c| to_outcome(c.system, c.point, &c.record))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { src_ases: 3, hosts_per_as: 3, sim_time: 25 * SEC, seed: 7 }
+    }
+
+    #[test]
+    fn chaos_records_carry_their_fault_windows() {
+        let point = ChaosPoint {
+            topology: ChaosTopology::Dumbbell,
+            fault: ChaosFault::LinkFailure,
+            severity: Severity::Mild,
+        };
+        let r = Runner::new(chaos_spec(&tiny(), DefenseKind::Fq, &point)).run();
+        assert_eq!(r.faults.len(), 1);
+        assert_eq!(r.faults[0].kind, "link-failure");
+        assert_eq!(r.faults[0].at, FAULT_AT);
+        assert_eq!(r.faults[0].clear_at, FAULT_AT + 2 * SEC);
+        assert!(r.worst_fault_recovery_secs().is_some());
+        assert!(r.availability().is_some());
+    }
+
+    #[test]
+    fn every_fault_dose_compiles_into_a_nonempty_plan() {
+        for fault in ChaosFault::ALL {
+            for severity in Severity::ALL {
+                let plan = chaos_plan(fault, severity);
+                assert!(!plan.is_empty(), "{}-{} plan is empty", fault.label(), severity.label());
+            }
+        }
+    }
+
+    #[test]
+    fn a_mild_reboot_cell_runs_on_every_defense() {
+        let point = ChaosPoint {
+            topology: ChaosTopology::Dumbbell,
+            fault: ChaosFault::RouterReboot,
+            severity: Severity::Mild,
+        };
+        for system in SYSTEMS {
+            let out = run_chaos_cell(&tiny(), system, point);
+            assert!(out.avg_user_bps >= 0.0, "{} cell ran", system.label());
+            assert!(out.worst_recovery_secs.is_some());
+        }
+    }
+}

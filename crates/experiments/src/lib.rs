@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod deployment;
 pub mod fig10;
 pub mod fig11;
@@ -55,7 +56,10 @@ pub mod topo_scale;
 pub mod tournament;
 
 pub use netfence_adversary::{AttackLoad, AttackStrategy, ShrewTiming, StrategyCtx};
-pub use record::{DefenseReport, GoodputSample, LinkStats, Record, Role, RoleSeries};
+pub use netfence_faults::{FaultKind, FaultPlan, FaultTarget, FaultWindow};
+pub use record::{
+    DefenseReport, FaultWindowRecord, GoodputSample, LinkStats, Record, Role, RoleSeries,
+};
 pub use runner::{Runner, TelemetryDump};
 pub use spec::{
     AttackTarget, Bandwidth, DefenseKind, DefenseSpec, InternetShape, RoleSpec, Scale,
@@ -65,7 +69,9 @@ pub use sweep::{Cell, SweepGrid};
 
 /// Commonly used re-exports for writing scenarios.
 pub mod prelude {
-    pub use crate::record::{DefenseReport, GoodputSample, LinkStats, Record, Role, RoleSeries};
+    pub use crate::record::{
+        DefenseReport, FaultWindowRecord, GoodputSample, LinkStats, Record, Role, RoleSeries,
+    };
     pub use crate::runner::{Runner, TelemetryDump};
     pub use crate::spec::{
         netfence_config, AttackTarget, Bandwidth, DefenseContext, DefenseKind, DefenseSpec,
@@ -74,6 +80,7 @@ pub mod prelude {
     };
     pub use crate::sweep::{Cell, SweepGrid};
     pub use netfence_adversary::{AttackLoad, AttackStrategy, ShrewTiming, StrategyCtx};
+    pub use netfence_faults::{FaultKind, FaultPlan, FaultTarget, FaultWindow};
     pub use netfence_sim::deploy::{DeploymentSpec, Placement};
     pub use netfence_sim::prelude::{DropBudget, DropCause, EngineProfile, TelemetryConfig};
     pub use netfence_topo::{BuiltTopo, MultiBottleneckSpec, TopoGroup, TopoSpec, TransitStubSpec};

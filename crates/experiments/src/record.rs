@@ -64,6 +64,21 @@ pub struct GoodputSample {
     pub attacker_bytes: u64,
 }
 
+/// One fault window injected into the run: what hit, when, and when it
+/// cleared — the instants the record's recovery metrics are measured
+/// against. (For one-shot faults like a reboot, `clear_at == at`: the
+/// disruption is instantaneous but its aftermath is not.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultWindowRecord {
+    /// Fault kind label (`"link-failure"`, `"reboot"`, `"key-desync"`,
+    /// `"clock-skew"`, `"memory-pressure"`).
+    pub kind: String,
+    /// When the fault hit.
+    pub at: Nanos,
+    /// When it cleared.
+    pub clear_at: Nanos,
+}
+
 /// Statistics of one monitored (bottleneck) link.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkStats {
@@ -104,6 +119,11 @@ pub struct Record {
     /// When the earliest attacker starts sending (`None` without
     /// attackers), the reference instant of [`Record::reaction_secs`].
     pub attack_start: Option<Nanos>,
+    /// The fault windows injected into the run, in plan order (empty
+    /// without a fault plan — the default, preserving record equality with
+    /// pre-fault runs). Reference instants of
+    /// [`Record::fault_recovery_secs`] and [`Record::availability`].
+    pub faults: Vec<FaultWindowRecord>,
     /// Engine profiling counters for the run (events processed, forwards,
     /// enqueues/dequeues, drops) — deterministic, always collected.
     pub engine: EngineProfile,
@@ -191,18 +211,7 @@ impl Record {
     /// callers treat `None` as "did not react".
     pub fn reaction_secs(&self) -> Option<f64> {
         let attack_start = self.attack_start?;
-        // Per-window user byte deltas: window i spans (at[i-1], at[i]],
-        // with window 0 spanning (0, at[0]].
-        let deltas: Vec<(Nanos, Nanos, u64)> = self
-            .samples
-            .iter()
-            .scan((0, 0u64), |(prev_at, prev_bytes), s| {
-                let d = (*prev_at, s.at, s.user_bytes.saturating_sub(*prev_bytes));
-                *prev_at = s.at;
-                *prev_bytes = s.user_bytes;
-                Some(d)
-            })
-            .collect();
+        let deltas = self.window_deltas();
         let pre: Vec<u64> =
             deltas.iter().filter(|&&(_, end, _)| end <= attack_start).map(|&(_, _, b)| b).collect();
         if pre.is_empty() {
@@ -212,23 +221,80 @@ impl Record {
         if baseline <= 0.0 {
             return None;
         }
-        let threshold = baseline * 0.9;
-        let post: Vec<&(Nanos, Nanos, u64)> =
-            deltas.iter().filter(|&&(start, _, _)| start >= attack_start).collect();
-        for (i, &&(_, end, bytes)) in post.iter().enumerate() {
-            if (bytes as f64) < threshold {
-                continue;
-            }
-            // Sustained: the remaining windows must *on average* hold the
-            // threshold too (individual windows may dip — TCP goodput is
-            // bursty at sample granularity).
-            let rest = &post[i..];
-            let rest_avg = rest.iter().map(|&&(_, _, b)| b as f64).sum::<f64>() / rest.len() as f64;
-            if rest_avg >= threshold {
-                return Some((end.saturating_sub(attack_start)) as f64 / SEC as f64);
-            }
+        sustained_recovery_end(&deltas, attack_start, baseline * 0.9)
+            .map(|end| (end.saturating_sub(attack_start)) as f64 / SEC as f64)
+    }
+
+    /// Per-window user byte deltas from the goodput samples: window i
+    /// spans (at[i-1], at[i]], with window 0 spanning (0, at[0]].
+    fn window_deltas(&self) -> Vec<(Nanos, Nanos, u64)> {
+        self.samples
+            .iter()
+            .scan((0, 0u64), |(prev_at, prev_bytes), s| {
+                let d = (*prev_at, s.at, s.user_bytes.saturating_sub(*prev_bytes));
+                *prev_at = s.at;
+                *prev_bytes = s.user_bytes;
+                Some(d)
+            })
+            .collect()
+    }
+
+    /// Recovery time of the `index`-th fault window, in seconds: fault
+    /// clearance → the first instant user goodput sustainably returns to
+    /// ≥ 90% of its pre-fault level.
+    ///
+    /// The pre-fault baseline is the mean per-window user goodput over the
+    /// (up to [`BASELINE_WINDOWS`]) sample windows ending at or before the
+    /// fault hit — a *trailing* baseline, so it reflects the steady state
+    /// right before this fault even when an attack (already absorbed by
+    /// the defense) or an earlier fault reshaped goodput since the start
+    /// of the run. Sustained means the remaining windows also hold the
+    /// threshold on average, exactly like [`Record::reaction_secs`].
+    /// `None` = sampling off, no measurable baseline, or never recovered
+    /// within the run.
+    pub fn fault_recovery_secs(&self, index: usize) -> Option<f64> {
+        let w = self.faults.get(index)?;
+        let deltas = self.window_deltas();
+        let baseline = trailing_baseline(&deltas, w.at)?;
+        sustained_recovery_end(&deltas, w.clear_at, baseline * 0.9)
+            .map(|end| (end.saturating_sub(w.clear_at)) as f64 / SEC as f64)
+    }
+
+    /// The slowest per-window [`Record::fault_recovery_secs`] of the run —
+    /// the chaos sweep's headline metric. Windows that never recover (or
+    /// cannot be measured) are censored at the end of the run: they count
+    /// as `sim_time - clear_at`, so "worse" stays monotone instead of
+    /// disappearing into `None`. `None` only without fault windows.
+    pub fn worst_fault_recovery_secs(&self) -> Option<f64> {
+        if self.faults.is_empty() {
+            return None;
         }
-        None
+        let mut worst: f64 = 0.0;
+        for (i, w) in self.faults.iter().enumerate() {
+            let censored = self.sim_time.saturating_sub(w.clear_at) as f64 / SEC as f64;
+            worst = worst.max(self.fault_recovery_secs(i).unwrap_or(censored));
+        }
+        Some(worst)
+    }
+
+    /// Availability under faults: the fraction of sample windows from the
+    /// first fault onward whose user goodput held ≥ 90% of the pre-fault
+    /// baseline (trailing mean, as in [`Record::fault_recovery_secs`]).
+    /// 1.0 = the faults never dented goodput below threshold; 0.0 = it
+    /// never held again. `None` without fault windows, sampling, or a
+    /// measurable baseline.
+    pub fn availability(&self) -> Option<f64> {
+        let first = self.faults.iter().map(|w| w.at).min()?;
+        let deltas = self.window_deltas();
+        let baseline = trailing_baseline(&deltas, first)?;
+        let threshold = baseline * 0.9;
+        let post: Vec<u64> =
+            deltas.iter().filter(|&&(start, _, _)| start >= first).map(|&(_, _, b)| b).collect();
+        if post.is_empty() {
+            return None;
+        }
+        let ok = post.iter().filter(|&&b| b as f64 >= threshold).count();
+        Some(ok as f64 / post.len() as f64)
     }
 
     /// Utilization of the primary bottleneck.
@@ -240,6 +306,47 @@ impl Record {
     pub fn bottleneck_loss(&self) -> f64 {
         self.links.first().map(|l| l.loss).unwrap_or(0.0)
     }
+}
+
+/// How many trailing sample windows form a fault's pre-fault baseline.
+pub const BASELINE_WINDOWS: usize = 8;
+
+/// Mean per-window goodput over the (up to [`BASELINE_WINDOWS`]) windows
+/// ending at or before `t`; `None` when no window ends by `t` or the mean
+/// is zero (no measurable baseline).
+fn trailing_baseline(deltas: &[(Nanos, Nanos, u64)], t: Nanos) -> Option<f64> {
+    let pre: Vec<u64> =
+        deltas.iter().filter(|&&(_, end, _)| end <= t).map(|&(_, _, b)| b).collect();
+    if pre.is_empty() {
+        return None;
+    }
+    let tail = &pre[pre.len().saturating_sub(BASELINE_WINDOWS)..];
+    let baseline = tail.iter().sum::<u64>() as f64 / tail.len() as f64;
+    (baseline > 0.0).then_some(baseline)
+}
+
+/// The end instant of the first window starting at or after `from` that
+/// holds `threshold` *sustainably* — the remaining windows must hold it on
+/// average too (individual windows may dip; TCP goodput is bursty at
+/// sample granularity). `None` = never within the run.
+fn sustained_recovery_end(
+    deltas: &[(Nanos, Nanos, u64)],
+    from: Nanos,
+    threshold: f64,
+) -> Option<Nanos> {
+    let post: Vec<&(Nanos, Nanos, u64)> =
+        deltas.iter().filter(|&&(start, _, _)| start >= from).collect();
+    for (i, &&(_, end, bytes)) in post.iter().enumerate() {
+        if (bytes as f64) < threshold {
+            continue;
+        }
+        let rest = &post[i..];
+        let rest_avg = rest.iter().map(|&&(_, _, b)| b as f64).sum::<f64>() / rest.len() as f64;
+        if rest_avg >= threshold {
+            return Some(end);
+        }
+    }
+    None
 }
 
 fn avg(iter: impl Iterator<Item = f64>) -> f64 {
@@ -290,6 +397,7 @@ mod tests {
             report: DefenseReport::default(),
             samples: Vec::new(),
             attack_start: None,
+            faults: Vec::new(),
             engine: EngineProfile::default(),
         }
     }
@@ -398,6 +506,100 @@ mod tests {
         assert_eq!(r.reaction_secs(), None, "single pre-attack sample, nothing after");
         r.attack_start = Some(0);
         assert_eq!(r.reaction_secs(), None, "single sample with t=0 attack");
+    }
+
+    /// Healthy 1000 B/s baseline, a fault window [3 s, 5 s] collapsing
+    /// goodput, recovery from 8 s on.
+    fn faulted() -> Record {
+        let user_bytes = [1000, 2000, 3000, 3100, 3200, 3300, 3400, 4400, 5400, 6400];
+        let samples = user_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| GoodputSample {
+                at: (i as u64 + 1) * SEC,
+                user_bytes: b,
+                attacker_bytes: 0,
+            })
+            .collect();
+        let faults =
+            vec![FaultWindowRecord { kind: "link-failure".into(), at: 3 * SEC, clear_at: 5 * SEC }];
+        Record { samples, faults, ..sample() }
+    }
+
+    #[test]
+    fn fault_recovery_measures_from_clearance_to_sustained_return() {
+        let r = faulted();
+        // Baseline 1000 B/s over windows 1–3; first sustained ≥ 900 B
+        // window after the 5 s clearance ends at 8 s → recovery 3 s.
+        assert_eq!(r.fault_recovery_secs(0), Some(3.0));
+        assert_eq!(r.worst_fault_recovery_secs(), Some(3.0));
+        // Out-of-range window index: no metric, no panic.
+        assert_eq!(r.fault_recovery_secs(1), None);
+    }
+
+    #[test]
+    fn availability_counts_threshold_holding_windows_after_the_first_fault() {
+        let r = faulted();
+        // Windows starting at ≥ 3 s: 7 of them (3→4 … 9→10 s); the three
+        // from 7 s on hold ≥ 900 B.
+        assert_eq!(r.availability(), Some(3.0 / 7.0));
+    }
+
+    #[test]
+    fn fault_metrics_without_faults_or_samples_are_none() {
+        assert_eq!(sample().worst_fault_recovery_secs(), None, "no faults");
+        assert_eq!(sample().availability(), None, "no faults");
+        let mut r = faulted();
+        r.samples.clear();
+        assert_eq!(r.fault_recovery_secs(0), None, "no samples, no baseline");
+        assert_eq!(r.availability(), None, "no samples");
+        // Never recovering: the per-window metric is None but the worst-
+        // case metric censors at the end of the run.
+        let mut r = faulted();
+        let bytes = [1000, 2000, 3000, 3100, 3200, 3300, 3400, 3500, 3600, 3700];
+        for (s, &b) in r.samples.iter_mut().zip(bytes.iter()) {
+            s.user_bytes = b;
+        }
+        assert_eq!(r.fault_recovery_secs(0), None);
+        assert_eq!(r.worst_fault_recovery_secs(), Some(5.0), "censored at sim_time - clear_at");
+        assert_eq!(r.availability(), Some(0.0));
+    }
+
+    #[test]
+    fn fault_baseline_is_trailing_not_global() {
+        // An attack collapses goodput long before the fault; the defense
+        // restores it to 500 B/s (the new steady state). The fault baseline
+        // must be the trailing 500 B/s, not a mean polluted by the
+        // 1000 B/s pre-attack era — recovery back to 500 B/s counts.
+        let user_bytes: Vec<u64> = {
+            let deltas = [
+                1000, 1000, 1000, 100, 100, 500, 500, 500, 500, 500, 500, 500, 500, // steady
+                50, 50, // fault at 13 s, cleared 15 s
+                500, 500, 500, 500, 500, // recovered
+            ];
+            deltas
+                .iter()
+                .scan(0u64, |acc, d| {
+                    *acc += d;
+                    Some(*acc)
+                })
+                .collect()
+        };
+        let samples: Vec<GoodputSample> = user_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| GoodputSample {
+                at: (i as u64 + 1) * SEC,
+                user_bytes: b,
+                attacker_bytes: 0,
+            })
+            .collect();
+        let faults =
+            vec![FaultWindowRecord { kind: "reboot".into(), at: 13 * SEC, clear_at: 13 * SEC }];
+        let r = Record { samples, faults, sim_time: 20 * SEC, ..sample() };
+        // Trailing baseline = 500 B/s; first sustained ≥ 450 B window after
+        // the 13 s clearance ends at 16 s → 3 s recovery.
+        assert_eq!(r.fault_recovery_secs(0), Some(3.0));
     }
 
     #[test]

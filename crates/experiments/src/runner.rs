@@ -20,7 +20,7 @@ use netfence_ctrl::service::CtrlService;
 use netfence_sim::prelude::*;
 use netfence_topo::{MultiBottleneckSpec, TransitStubSpec};
 
-use crate::record::{GoodputSample, LinkStats, Record, Role, RoleSeries};
+use crate::record::{FaultWindowRecord, GoodputSample, LinkStats, Record, Role, RoleSeries};
 use crate::spec::{AttackTarget, DefenseContext, ScenarioSpec, SuppressionGroup, TopologySpec};
 use crate::topo::{BuiltTopo, TopoSpec};
 
@@ -253,6 +253,15 @@ impl Runner {
         fair_share_bps: f64,
     ) -> (Record, TelemetryDump) {
         let spec = &self.spec;
+        // Resolve the fault plan against the network before it moves into
+        // the simulator. Compilation draws from its own RNG substream and
+        // the empty plan compiles to zero events, so fault-free runs stay
+        // byte-identical to pre-fault-engine ones (pinned by
+        // `tests/faults.rs`).
+        let compiled = match spec.faults.compile(&net, spec.scale.seed) {
+            Ok(c) => c,
+            Err(e) => panic!("fault plan does not fit scenario '{}': {e}", spec.name),
+        };
         let mut sim = Simulator::new(
             net,
             deployment,
@@ -264,6 +273,7 @@ impl Runner {
                 ..Default::default()
             },
         );
+        compiled.schedule(&mut sim);
 
         let mut flow_ids: Vec<Vec<FlowId>> = Vec::with_capacity(planned.len());
         let mut attack_start: Option<Nanos> = None;
@@ -377,6 +387,15 @@ impl Runner {
             report: sim.report(),
             samples,
             attack_start,
+            faults: compiled
+                .windows
+                .iter()
+                .map(|w| FaultWindowRecord {
+                    kind: w.kind.label().to_string(),
+                    at: w.start,
+                    clear_at: w.clear_at,
+                })
+                .collect(),
             engine: sim.metrics.profile,
         };
         (record, dump)

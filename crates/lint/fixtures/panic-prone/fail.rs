@@ -1,0 +1,16 @@
+//! Fixture: `.unwrap()`, `.expect(...)` and `panic!` in runtime code
+//! (must FAIL with three `panic-prone` findings).
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(text: &str) -> u32 {
+    text.parse().expect("fixture: not a number")
+}
+
+pub fn guard(ok: bool) {
+    if !ok {
+        panic!("fixture: invariant violated");
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: panic-free runtime code (must PASS). The `Err`/`None` arms
+//! are handled, `unwrap_or` variants are not method-call `unwrap`s, a
+//! justified allow waives a deliberate invariant check, and test code is
+//! exempt outright.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn parse(text: &str) -> u32 {
+    match text.parse() {
+        Ok(n) => n,
+        Err(_) => 0,
+    }
+}
+
+pub fn checked(denominator: u32) -> u32 {
+    if denominator == 0 {
+        // lint:allow(panic-prone): fixture — deliberate invariant with a written justification
+        panic!("fixture invariant");
+    }
+    100 / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u32> = Some(7);
+        assert_eq!(x.unwrap(), 7);
+    }
+}

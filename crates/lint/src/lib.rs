@@ -2,7 +2,7 @@
 //!
 //! An offline, dependency-free static-analysis pass over the workspace
 //! that enforces the determinism and drop-accounting invariants every
-//! figure-equivalence claim rests on (`DESIGN.md` §13). Six rules:
+//! figure-equivalence claim rests on (`DESIGN.md` §13). Seven rules:
 //!
 //! 1. `nondeterministic-iteration` — no `HashMap`/`HashSet` iteration in
 //!    export-path modules (anything feeding `Record`, `DefenseReport`,
@@ -14,7 +14,11 @@
 //!    `DropCause` mapping;
 //! 5. `wildcard-defense-match` — no `_` arms in matches over
 //!    `DefenseKind`/`DropCause` in systems/experiments code;
-//! 6. `unsafe-code` — every crate root carries `#![forbid(unsafe_code)]`.
+//! 6. `unsafe-code` — every crate root carries `#![forbid(unsafe_code)]`;
+//! 7. `panic-prone` — no `.unwrap()`/`.expect(...)`/`panic!` in the
+//!    fault-injected runtime crates (core, sim, systems, ctrl, faults):
+//!    the chaos engine's no-panic property is only as strong as the
+//!    weakest `unwrap` on a fault path.
 //!
 //! Each rule honors the inline escape hatch
 //! `// lint:allow(rule-name): reason` — the justification string is

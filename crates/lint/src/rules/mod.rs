@@ -1,7 +1,7 @@
 //! The rule engine: a prepared [`SourceFile`] (token stream, significant
 //! indices, `#[cfg(test)]` shadowing), the workspace-level [`Context`]
 //! (zone config plus the cross-module table of functions returning hash
-//! collections), and the six rules of the taxonomy (`DESIGN.md` §13).
+//! collections), and the seven rules of the taxonomy (`DESIGN.md` §13).
 
 use crate::config::LintConfig;
 use crate::diag::Diagnostic;
@@ -11,6 +11,7 @@ use std::collections::BTreeSet;
 pub mod drops;
 pub mod entropy;
 pub mod iteration;
+pub mod panic;
 pub mod unsafe_code;
 pub mod wallclock;
 pub mod wildcard;
@@ -18,13 +19,14 @@ pub mod wildcard;
 /// Names of every rule, in reporting order. The allow policy findings
 /// (`unjustified-allow`, `unknown-rule`, `unused-allow`) are emitted by
 /// the engine itself, not listed here.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "nondeterministic-iteration",
     "wall-clock",
     "unseeded-entropy",
     "untyped-drop",
     "wildcard-defense-match",
     "unsafe-code",
+    "panic-prone",
 ];
 
 /// One prepared source file.
@@ -196,5 +198,6 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(drops::UntypedDrop),
         Box::new(wildcard::WildcardDefenseMatch),
         Box::new(unsafe_code::UnsafeCode),
+        Box::new(panic::PanicProne),
     ]
 }

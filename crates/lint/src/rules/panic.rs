@@ -1,0 +1,63 @@
+//! Rule `panic-prone`: `.unwrap()`, `.expect(...)` and `panic!` are
+//! banned in the zoned runtime crates (core, sim, systems, ctrl, faults).
+//! The chaos engine injects faults precisely to prove the data plane
+//! degrades gracefully; a stray `unwrap` turns a recoverable fault into a
+//! process abort and voids the no-panic acceptance property. Test code
+//! (inline `#[cfg(test)]` modules) is exempt — a test asserting via
+//! `unwrap` is fine — and deliberate invariant checks carry a justified
+//! `lint:allow(panic-prone)` instead.
+
+use super::{Context, Rule, SourceFile};
+use crate::diag::Diagnostic;
+
+pub struct PanicProne;
+
+impl Rule for PanicProne {
+    fn name(&self) -> &'static str {
+        "panic-prone"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !ctx.config.path_in("rules.panic-prone", "zones", &file.path) {
+            return;
+        }
+        let s = &file.sig;
+        for k in 0..s.len() {
+            if file.test_code(k) {
+                continue;
+            }
+            let t = file.tok(k);
+            // `.unwrap(` / `.expect(` — method calls only, so
+            // `unwrap_or(...)` and field names never match.
+            if t.is_punct(".")
+                && k + 2 < s.len()
+                && file.tok(k + 2).is_punct("(")
+                && (file.tok(k + 1).is_ident("unwrap") || file.tok(k + 1).is_ident("expect"))
+            {
+                let m = file.tok(k + 1);
+                out.push(Diagnostic::error(
+                    self.name(),
+                    &file.path,
+                    m.line,
+                    format!(
+                        "`.{}(...)` in fault-injected runtime code; handle the `None`/`Err` arm \
+                         or justify the invariant with `lint:allow(panic-prone)`",
+                        m.text
+                    ),
+                ));
+            }
+            // `panic!(...)` (the bare macro; `unreachable!`/`todo!` are
+            // compile-time placeholders the build already rejects).
+            if t.is_ident("panic") && k + 1 < s.len() && file.tok(k + 1).is_punct("!") {
+                out.push(Diagnostic::error(
+                    self.name(),
+                    &file.path,
+                    t.line,
+                    "`panic!` in fault-injected runtime code; return a typed error \
+                     or justify the invariant with `lint:allow(panic-prone)`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

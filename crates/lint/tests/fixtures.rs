@@ -18,6 +18,9 @@ const FIXTURE_CONFIG: &str = r#"
 export = ["fixtures"]
 bench = ["fixtures/bench"]
 wildcard = ["fixtures"]
+
+[rules.panic-prone]
+zones = ["fixtures/panic-prone"]
 "#;
 
 fn fixture_source(rule: &str, which: &str) -> String {

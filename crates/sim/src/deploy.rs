@@ -286,6 +286,36 @@ pub trait HostShim: std::fmt::Debug {
     fn report(&self, _out: &mut DefenseReport) {}
 }
 
+/// A data-plane fault delivered to one router's defense agent by the
+/// engine's fault-injection machinery (`netfence-faults` compiles a
+/// declarative plan into these). Every variant is a *state* fault: link
+/// failures are handled by the engine itself and never reach an agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterFault {
+    /// The router lost power and came back: the agent must discard all
+    /// volatile defense state (rate limiters, pairwise AS keys, filter
+    /// tables, capabilities) exactly as the paper's fail-safe argument
+    /// assumes (§4.4), then re-bootstrap through the control plane.
+    Reboot,
+    /// The router's time-varying secret `Ka` rotated out from under the
+    /// feedback already circulating: held stamps stop validating until
+    /// senders obtain fresh ones.
+    KeyDesync,
+    /// The router's clock is skewed by `offset_ns` (signed, nanoseconds)
+    /// relative to true simulated time from this instant on. A window's
+    /// end is delivered as a second `ClockSkew { offset_ns: 0 }` fault.
+    ClockSkew {
+        /// Signed skew applied to the agent's view of `now`.
+        offset_ns: i64,
+    },
+    /// Memory pressure forced the router to evict up to `evict` rules from
+    /// each of its policy stores (oldest-expiry first, deterministic).
+    MemoryPressure {
+        /// Maximum rules force-evicted per store.
+        evict: usize,
+    },
+}
+
 /// The defense agent running on one router. All methods default to no-ops
 /// (a legacy router simply has no agent at all).
 pub trait RouterAgent: std::fmt::Debug {
@@ -320,6 +350,11 @@ pub trait RouterAgent: std::fmt::Debug {
 
     /// Periodic housekeeping (control-interval AIMD, detection EWMAs, …).
     fn tick(&mut self, _now: Nanos, _ctl: &mut ControlPlane) {}
+
+    /// A data-plane fault hit this router (see [`RouterFault`]). Default:
+    /// nothing to lose — an agent without volatile state is trivially
+    /// fail-safe.
+    fn on_fault(&mut self, _now: Nanos, _fault: RouterFault, _ctl: &mut ControlPlane) {}
 
     /// Merge this agent's counters into the deployment-wide report.
     fn report(&self, _out: &mut DefenseReport) {}
@@ -592,6 +627,11 @@ pub struct DefenseReport {
     pub unauthorized_drops: u64,
     /// Packets whose feedback was stamped `L↓` at a bottleneck (NetFence).
     pub stamped_decr: u64,
+    /// Regular packets whose presented feedback failed MAC validation at
+    /// their access router and were demoted to the request channel
+    /// (NetFence §4.3; spikes when a secret key rotates out from under
+    /// held feedback).
+    pub invalid_feedback: u64,
     /// Per-(sender, bottleneck) rate limiters across all access routers
     /// (NetFence's scalability metric, §5.1).
     pub rate_limiters: usize,
@@ -640,6 +680,7 @@ impl Default for DefenseReport {
             filtered_drops: 0,
             unauthorized_drops: 0,
             stamped_decr: 0,
+            invalid_feedback: 0,
             rate_limiters: 0,
             filters: 0,
             capabilities_granted: 0,

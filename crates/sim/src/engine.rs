@@ -34,7 +34,7 @@ use netfence_telemetry::{
 
 use crate::deploy::{
     ChannelVerdict, ControlMsg, DefenseFactory, DefenseReport, Deployment, DeploymentSpec,
-    Endpoint, LinkRef, RouterAction,
+    Endpoint, LinkRef, RouterAction, RouterFault,
 };
 use crate::flow::{Flow, FlowActions, FlowProgress};
 use crate::metrics::Metrics;
@@ -84,6 +84,42 @@ impl Default for SimConfig {
     }
 }
 
+/// A fault injected into the running simulation as a first-class engine
+/// event (see [`Simulator::schedule_fault`]).
+///
+/// Faults are scheduled from the outside (by a fault plan compiled against
+/// the topology) and consume no engine randomness: a run with no scheduled
+/// faults is event-for-event identical to a run on an engine without the
+/// fault machinery at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Take a link down. Every packet queued on the link is lost as a
+    /// typed [`DropCause::LinkDown`] drop, the packet being serialized (if
+    /// any) is lost when its transmission completes, and routes are
+    /// recomputed over the surviving topology. Down-link drops are *not*
+    /// reported to the owning agent's `on_link_drop` — a dead link carries
+    /// no congestion feedback.
+    LinkDown {
+        /// Dense link index ([`Network::links`]).
+        link: usize,
+    },
+    /// Restore a previously failed link and recompute routes over the
+    /// healed topology. A no-op if the link is already up.
+    LinkUp {
+        /// Dense link index ([`Network::links`]).
+        link: usize,
+    },
+    /// Deliver a [`RouterFault`] (reboot, key desync, clock skew, memory
+    /// pressure) to the agent deployed at `node`. Legacy nodes without an
+    /// agent ignore router faults.
+    Router {
+        /// The faulted router.
+        node: NodeId,
+        /// What happens to it.
+        fault: RouterFault,
+    },
+}
+
 #[derive(Debug)]
 enum EventKind {
     FlowStart {
@@ -121,6 +157,10 @@ enum EventKind {
     /// Record one per-flow goodput sample (only scheduled when
     /// `sample_interval > 0`).
     Sample,
+    /// An injected fault (only scheduled via [`Simulator::schedule_fault`]).
+    Fault {
+        action: FaultAction,
+    },
 }
 
 #[derive(Debug)]
@@ -175,6 +215,8 @@ pub struct Simulator {
     links: Vec<LinkState>,
     /// Owning (sending-side) node of each link, for dense agent dispatch.
     link_owner: Vec<NodeId>,
+    /// Which links are currently failed (set/cleared by [`FaultAction`]s).
+    link_down: Vec<bool>,
     flows: Vec<Box<dyn Flow>>,
     events: BinaryHeap<Scheduled>,
     seq: u64,
@@ -229,6 +271,7 @@ impl Simulator {
             None => FlightRecorder::disabled(),
         };
         let metrics = Metrics::for_links(&net.links);
+        let link_down = vec![false; links.len()];
         let mut sim = Simulator {
             cfg,
             net,
@@ -238,6 +281,7 @@ impl Simulator {
             flight,
             links,
             link_owner,
+            link_down,
             flows: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -317,6 +361,19 @@ impl Simulator {
     fn schedule(&mut self, at: Nanos, kind: EventKind) {
         self.seq += 1;
         self.events.push(Scheduled { at: at.max(self.now), seq: self.seq, kind });
+    }
+
+    /// Schedule a fault to fire at simulated time `at`. Faults are ordinary
+    /// heap events: with none scheduled the event sequence — and therefore
+    /// every derived counter and sample — is byte-identical to a fault-free
+    /// run.
+    pub fn schedule_fault(&mut self, at: Nanos, action: FaultAction) {
+        self.schedule(at, EventKind::Fault { action });
+    }
+
+    /// Whether link `link` is currently failed.
+    pub fn link_is_down(&self, link: usize) -> bool {
+        self.link_down.get(link).copied().unwrap_or(false)
     }
 
     /// Run the simulation to `cfg.end_time`.
@@ -475,6 +532,87 @@ impl Simulator {
                     self.schedule(self.now + self.cfg.sample_interval, EventKind::Sample);
                 }
             }
+            EventKind::Fault { action } => {
+                self.apply_fault(action);
+            }
+        }
+    }
+
+    /// Apply one injected fault at the current instant.
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown { link } => {
+                if self.link_down.get(link).copied().unwrap_or(true) {
+                    return;
+                }
+                self.link_down[link] = true;
+                self.mark_fault("link-down", self.link_owner[link], Some(link));
+                // Everything queued on the failed link is lost. The owning
+                // agent is deliberately not told: a dead link produces no
+                // congestion feedback.
+                let now = self.now;
+                let owner = self.link_owner[link];
+                for d in self.links[link].queue.drain(now) {
+                    self.metrics.record_link_drop(link, d.flow as u64, DropCause::LinkDown);
+                    self.trace_hop(
+                        &d,
+                        owner,
+                        Some(link),
+                        HopStage::Drop,
+                        Some(DropCause::LinkDown),
+                    );
+                }
+                self.net.recompute_routes(&self.link_down);
+            }
+            FaultAction::LinkUp { link } => {
+                if !self.link_down.get(link).copied().unwrap_or(false) {
+                    return;
+                }
+                self.link_down[link] = false;
+                self.mark_fault("link-up", self.link_owner[link], Some(link));
+                self.net.recompute_routes(&self.link_down);
+                if !self.links[link].busy {
+                    self.try_transmit(link);
+                }
+            }
+            FaultAction::Router { node, fault } => {
+                let label = match fault {
+                    RouterFault::Reboot => "reboot",
+                    RouterFault::KeyDesync => "key-desync",
+                    RouterFault::ClockSkew { .. } => "clock-skew",
+                    RouterFault::MemoryPressure { .. } => "memory-pressure",
+                };
+                self.mark_fault(label, node, None);
+                let Deployment { routers, bus, .. } = &mut self.deployment;
+                if let Some(agent) = routers[node.0].as_mut() {
+                    bus.set_sender(Some(Endpoint::Router(node)));
+                    agent.on_fault(self.now, fault, bus);
+                }
+            }
+        }
+    }
+
+    /// Stamp one fault into the gated observers: a `fault` timeline row and
+    /// an unconditional (when tracing is on) flight-recorder mark with
+    /// `pkt = 0`, so packet traces can be read against the fault schedule.
+    fn mark_fault(&mut self, label: &str, node: NodeId, link: Option<usize>) {
+        if self.timeline.is_enabled() {
+            let key = match link {
+                Some(li) => format!("{label}:link:{}", self.net.links[li].addr),
+                None => format!("{label}:node:{}", node.0),
+            };
+            self.timeline.record(self.now, "fault", key, 1.0);
+        }
+        if self.flight.is_enabled() {
+            self.flight.record(HopEvent {
+                at: self.now,
+                pkt: 0,
+                flow: 0,
+                node: node.0 as u32,
+                link: link.map(|l| l as u32),
+                stage: HopStage::Fault,
+                cause: None,
+            });
         }
     }
 
@@ -634,6 +772,13 @@ impl Simulator {
         let now = self.now;
         self.metrics.profile.enqueues += 1;
         let owner = self.link_owner[link_idx];
+        if self.link_down[link_idx] {
+            // The link failed after routing chose it (stale route window or
+            // a delayed release): the packet is lost on the dead link.
+            self.metrics.record_link_drop(link_idx, pkt.flow as u64, DropCause::LinkDown);
+            self.trace_hop(&pkt, owner, Some(link_idx), HopStage::Drop, Some(DropCause::LinkDown));
+            return;
+        }
         self.trace_hop(&pkt, owner, Some(link_idx), HopStage::Enqueue, None);
         let dropped = self.links[link_idx].queue.enqueue(now, pkt);
         if !dropped.is_empty() {
@@ -656,6 +801,9 @@ impl Simulator {
     /// Ask an idle link's queue for the next packet; if the queue has
     /// packets but withholds them (strict caps), poll again shortly.
     fn try_transmit(&mut self, link_idx: usize) {
+        if self.link_down[link_idx] {
+            return;
+        }
         let now = self.now;
         match self.links[link_idx].queue.dequeue(now) {
             Some(pkt) => self.start_transmission(link_idx, pkt),
@@ -687,7 +835,20 @@ impl Simulator {
     fn transmit_done(&mut self, link_idx: usize) {
         let spec = self.net.links[link_idx];
         if let Some(pkt) = self.links[link_idx].in_flight.take() {
-            self.schedule(self.now + spec.delay, EventKind::Arrive { node: spec.to, pkt });
+            if self.link_down[link_idx] {
+                // The link failed mid-serialization: the packet is lost.
+                let owner = self.link_owner[link_idx];
+                self.metrics.record_link_drop(link_idx, pkt.flow as u64, DropCause::LinkDown);
+                self.trace_hop(
+                    &pkt,
+                    owner,
+                    Some(link_idx),
+                    HopStage::Drop,
+                    Some(DropCause::LinkDown),
+                );
+            } else {
+                self.schedule(self.now + spec.delay, EventKind::Arrive { node: spec.to, pkt });
+            }
         }
         self.links[link_idx].busy = false;
         self.try_transmit(link_idx);
@@ -973,5 +1134,138 @@ mod tests {
         assert_eq!(cfg.link_poll_interval, 2 * MILLI);
         let tight = SimConfig { link_poll_interval: 100, ..Default::default() };
         assert_eq!(tight.link_poll_interval, 100);
+    }
+
+    #[test]
+    fn link_failure_reroutes_to_surviving_path() {
+        // r1 —(direct)— r2 plus a two-hop detour r1 — r3 — r2.
+        let mut b = Network::builder();
+        let r1 = b.router(1, true);
+        let r2 = b.router(2, false);
+        let r3 = b.router(3, false);
+        let (direct, _) = b.duplex(r1, r2, 10_000_000, 5 * MILLI, QueueKind::DropTail);
+        b.duplex(r1, r3, 10_000_000, 5 * MILLI, QueueKind::DropTail);
+        b.duplex(r3, r2, 10_000_000, 5 * MILLI, QueueKind::DropTail);
+        b.host(HOST_A, 1, r1, 100_000_000, MILLI);
+        b.host(HOST_B, 2, r2, 100_000_000, MILLI);
+        let net = b.build();
+        let mut sim =
+            Simulator::undefended(net, SimConfig { end_time: 4 * SEC, ..Default::default() });
+        let flow = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 20_000_000)));
+        sim.schedule_fault(2 * SEC, FaultAction::LinkDown { link: direct });
+        sim.run();
+        assert!(sim.link_is_down(direct));
+        // Packets queued (or in flight) on the failed link died as typed
+        // link-down drops…
+        assert!(sim.metrics.drops.total().get(DropCause::LinkDown) > 0);
+        // …and BFS moved the flow onto the detour: the bottleneck keeps
+        // passing ~10 Mbps for the whole run, outage or not.
+        let goodput = sim.progress(flow).goodput_bps(0, 4 * SEC);
+        assert!(goodput > 8_000_000.0, "goodput {goodput}");
+        assert_ne!(sim.net.next_hop(r1, HOST_B), Some(direct));
+    }
+
+    #[test]
+    fn link_failure_without_detour_starves_until_restore() {
+        let (net, bottleneck) = dumbbell(1_000_000);
+        let link = net.links.iter().position(|l| l.addr == bottleneck).unwrap();
+        let mut sim = Simulator::undefended(
+            net,
+            SimConfig { end_time: 6 * SEC, sample_interval: 500 * MILLI, ..Default::default() },
+        );
+        let flow = sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 500_000)));
+        sim.schedule_fault(2 * SEC, FaultAction::LinkDown { link });
+        sim.schedule_fault(4 * SEC, FaultAction::LinkUp { link });
+        sim.run();
+        // With no surviving path, senders see typed no-route drops for the
+        // duration of the outage.
+        let no_route = sim.metrics.drops.total().get(DropCause::NoRoute);
+        assert!(no_route > 50, "no-route drops: {no_route}");
+        let at =
+            |t: Nanos| sim.samples().iter().find(|(ts, _)| *ts == t).map(|(_, v)| v[flow]).unwrap();
+        // Delivery is flat across the heart of the outage and resumes
+        // after the restore.
+        assert_eq!(at(3 * SEC), at(4 * SEC));
+        assert!(at(6 * SEC) > at(4 * SEC) + 100_000);
+    }
+
+    #[test]
+    fn router_faults_reach_the_agent_and_skip_legacy_nodes() {
+        #[derive(Debug, Default)]
+        struct FaultCounter {
+            seen: Vec<RouterFault>,
+        }
+        impl RouterAgent for FaultCounter {
+            fn on_fault(&mut self, _now: Nanos, fault: RouterFault, _ctl: &mut ControlPlane) {
+                self.seen.push(fault);
+            }
+            fn report(&self, out: &mut DefenseReport) {
+                out.filters += self.seen.len();
+            }
+        }
+        let (net, _) = dumbbell(1_000_000);
+        let r1 = net.access_router_of(HOST_A).unwrap();
+        let r2 = net.access_router_of(HOST_B).unwrap();
+        let mut b = Deployment::builder(&net, "fault-counter");
+        b.router_agent(r1, Box::new(FaultCounter::default()));
+        let deployment = b.build();
+        let mut sim =
+            Simulator::new(net, deployment, SimConfig { end_time: SEC, ..Default::default() });
+        sim.schedule_fault(
+            100 * MILLI,
+            FaultAction::Router { node: r1, fault: RouterFault::Reboot },
+        );
+        sim.schedule_fault(
+            200 * MILLI,
+            FaultAction::Router { node: r1, fault: RouterFault::ClockSkew { offset_ns: 5 } },
+        );
+        // r2 has no agent: the fault lands on a legacy node and vanishes.
+        sim.schedule_fault(
+            300 * MILLI,
+            FaultAction::Router { node: r2, fault: RouterFault::Reboot },
+        );
+        sim.run();
+        assert_eq!(sim.report().filters, 2);
+    }
+
+    #[test]
+    fn fault_marks_land_in_timeline_and_trace() {
+        let (net, bottleneck) = dumbbell(1_000_000);
+        let link = net.links.iter().position(|l| l.addr == bottleneck).unwrap();
+        let mut sim = Simulator::undefended(
+            net,
+            SimConfig { end_time: SEC, telemetry: TelemetryConfig::full(0), ..Default::default() },
+        );
+        sim.schedule_fault(100 * MILLI, FaultAction::LinkDown { link });
+        sim.schedule_fault(200 * MILLI, FaultAction::LinkUp { link });
+        sim.run();
+        let keys: Vec<_> =
+            sim.timeline.rows().filter(|r| r.series == "fault").map(|r| r.key.clone()).collect();
+        assert_eq!(keys.len(), 2, "fault rows: {keys:?}");
+        assert!(keys[0].starts_with("link-down:"));
+        assert!(keys[1].starts_with("link-up:"));
+        let marks = sim.flight.events().filter(|e| e.stage == HopStage::Fault).count();
+        assert_eq!(marks, 2);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let (net, bottleneck) = dumbbell(1_000_000);
+            let link = net.links.iter().position(|l| l.addr == bottleneck).unwrap();
+            let mut sim =
+                Simulator::undefended(net, SimConfig { end_time: 5 * SEC, ..Default::default() });
+            sim.add_flow(0, |id| Box::new(UdpFlow::cbr(id, HOST_A, HOST_B, 3_000_000)));
+            sim.schedule_fault(SEC, FaultAction::LinkDown { link });
+            sim.schedule_fault(2 * SEC, FaultAction::LinkUp { link });
+            sim.run();
+            (
+                sim.metrics.link_tx_pkts(bottleneck),
+                sim.metrics.drops.total().get(DropCause::LinkDown),
+                sim.metrics.drops.total().get(DropCause::NoRoute),
+                sim.progress(0).delivered_bytes,
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -44,9 +44,9 @@ pub mod prelude {
     pub use crate::deploy::{
         ChannelVerdict, ControlChannel, ControlMsg, ControlPlane, DefenseFactory, DefenseReport,
         DeployMap, Deployment, DeploymentBuilder, DeploymentSpec, Endpoint, HostShim, LinkRef,
-        NoDefense, Placement, QueueFactory, RouterAction, RouterAgent,
+        NoDefense, Placement, QueueFactory, RouterAction, RouterAgent, RouterFault,
     };
-    pub use crate::engine::{SimConfig, Simulator};
+    pub use crate::engine::{FaultAction, SimConfig, Simulator};
     pub use crate::flow::{Flow, FlowActions, FlowProgress};
     pub use crate::metrics::{fairness_index, mean_ratio, Metrics};
     pub use crate::packet::{

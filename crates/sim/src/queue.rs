@@ -44,6 +44,28 @@ pub trait QueueDisc: std::fmt::Debug {
     fn is_empty(&self) -> bool {
         self.len_pkts() == 0
     }
+
+    /// Remove and return *every* queued packet (fault injection: a link
+    /// that goes down loses its whole backlog at once). The default
+    /// repeatedly dequeues, tolerating disciplines that withhold a packet
+    /// for a few rounds (DRR deficit build-up) but giving up once the
+    /// queue stops making progress; disciplines that can withhold
+    /// indefinitely at a fixed instant (token-capped channels) override
+    /// this with a direct sweep.
+    fn drain(&mut self, now: Nanos) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let mut idle_rounds = 0usize;
+        while self.len_pkts() > 0 && idle_rounds < 64 {
+            match self.dequeue(now) {
+                Some(p) => {
+                    out.push(p);
+                    idle_rounds = 0;
+                }
+                None => idle_rounds += 1,
+            }
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -325,10 +347,11 @@ impl QueueDisc for DrrQueue {
             if visited > self.active.len() * rounds_needed + 2 {
                 break;
             }
-            let q = self.classes.get_mut(&class).expect("active class has a queue");
-            let head_size = match q.front() {
+            let head_size = match self.classes.get_mut(&class).and_then(|q| q.front()) {
                 Some(p) => p.size,
                 None => {
+                    // Stale active entry (no queue or an empty one):
+                    // retire it and move on.
                     self.active.pop_front();
                     self.deficit.remove(&class);
                     continue;
@@ -337,11 +360,17 @@ impl QueueDisc for DrrQueue {
             let d = self.deficit.entry(class).or_insert(0);
             if *d >= head_size {
                 *d -= head_size;
-                let pkt = q.pop_front().expect("head exists");
+                let Some(pkt) = self.classes.get_mut(&class).and_then(|q| q.pop_front()) else {
+                    self.active.pop_front();
+                    self.deficit.remove(&class);
+                    continue;
+                };
                 self.bytes -= pkt.size;
                 self.pkts -= 1;
-                *self.class_bytes.get_mut(&class).expect("class byte count") -= pkt.size;
-                if q.is_empty() {
+                if let Some(b) = self.class_bytes.get_mut(&class) {
+                    *b -= pkt.size;
+                }
+                if self.classes.get(&class).is_none_or(|q| q.is_empty()) {
                     self.active.pop_front();
                     self.deficit.remove(&class);
                 } // else keep the class at the head until its deficit runs out
@@ -427,7 +456,12 @@ impl QueueDisc for HierDrrQueue {
             if visited > self.active.len() * rounds_needed + 2 {
                 break;
             }
-            let q = self.inner.get_mut(&as_class).expect("active AS has a queue");
+            let Some(q) = self.inner.get_mut(&as_class) else {
+                // Stale active entry without a queue: retire it.
+                self.active.pop_front();
+                self.deficit.remove(&as_class);
+                continue;
+            };
             if q.is_empty() {
                 self.active.pop_front();
                 self.deficit.remove(&as_class);
@@ -500,8 +534,9 @@ impl QueueDisc for PriorityLevelQueue {
             let lowest = self.levels.iter().find(|(_, q)| !q.is_empty()).map(|(l, _)| *l);
             match lowest {
                 Some(l) if l < pkt.priority => {
-                    let q = self.levels.get_mut(&l).expect("level exists");
-                    let victim = q.pop_front().expect("non-empty");
+                    let Some(victim) = self.levels.get_mut(&l).and_then(|q| q.pop_front()) else {
+                        return vec![pkt];
+                    };
                     self.bytes -= victim.size;
                     self.pkts -= 1;
                     self.bytes += pkt.size;
@@ -521,8 +556,7 @@ impl QueueDisc for PriorityLevelQueue {
     fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
         // Serve the highest priority level that has packets.
         let level = *self.levels.iter().rev().find(|(_, q)| !q.is_empty())?.0;
-        let q = self.levels.get_mut(&level).expect("level exists");
-        let pkt = q.pop_front()?;
+        let pkt = self.levels.get_mut(&level).and_then(|q| q.pop_front())?;
         self.bytes -= pkt.size;
         self.pkts -= 1;
         Some(pkt)
@@ -655,6 +689,17 @@ impl QueueDisc for DualChannelQueue {
 
     fn congested(&self) -> bool {
         self.regular.congested()
+    }
+
+    fn drain(&mut self, now: Nanos) -> Vec<Packet> {
+        // The request channel's token cap would starve the default
+        // dequeue-until-empty loop; sweep all three channels directly.
+        // Drained packets are lost, not served: the served counters stay
+        // untouched.
+        let mut out = self.regular.drain(now);
+        out.extend(self.request.drain(now));
+        out.extend(self.legacy.drain(now));
+        out
     }
 }
 

@@ -168,6 +168,9 @@ pub struct Network {
     link_index: HashMap<LinkAddr, usize>,
     /// Number of routing destinations.
     dst_count: usize,
+    /// Destination slot → router slot of the destination's access router
+    /// (kept so routes can be recomputed after link faults).
+    dst_routers: Vec<u32>,
 }
 
 impl Network {
@@ -234,6 +237,49 @@ impl Network {
         let mut v: Vec<HostAddr> = self.host_index.keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Recompute every next-hop table over the surviving graph, skipping
+    /// links for which `down[link_index]` is true (indices past `down`'s
+    /// length count as up). Runs the exact BFS of
+    /// [`NetworkBuilder::build`] — same traversal order, same equal-cost
+    /// tie-breaking — so calling it with an all-false `down` reproduces
+    /// the original tables bit-for-bit. Destinations with no surviving
+    /// path simply keep `NONE32` entries; forwarding to them becomes a
+    /// typed no-route drop at the engine.
+    pub fn recompute_routes(&mut self, down: &[bool]) {
+        let router_count = self.routes.len();
+        let mut rev: Vec<Vec<(u32, u32)>> = vec![Vec::new(); router_count];
+        for (li, l) in self.links.iter().enumerate() {
+            if down.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            let (f, t) = (self.router_slot[l.from.0], self.router_slot[l.to.0]);
+            if f != NONE32 && t != NONE32 {
+                rev[t as usize].push((f, li as u32));
+            }
+        }
+        for row in &mut self.routes {
+            row.fill(NONE32);
+        }
+        let mut dist = vec![u32::MAX; router_count];
+        let mut q = VecDeque::new();
+        for (dst_slot, &root) in self.dst_routers.iter().enumerate() {
+            dist.fill(u32::MAX);
+            dist[root as usize] = 0;
+            q.clear();
+            q.push_back(root);
+            while let Some(r) = q.pop_front() {
+                let d = dist[r as usize] + 1;
+                for &(from, li) in &rev[r as usize] {
+                    if dist[from as usize] == u32::MAX {
+                        dist[from as usize] = d;
+                        self.routes[from as usize][dst_slot] = li;
+                        q.push_back(from);
+                    }
+                }
+            }
+        }
     }
 
     /// Size of the derived routing state.
@@ -422,6 +468,7 @@ impl NetworkBuilder {
             routes,
             link_index,
             dst_count,
+            dst_routers,
         }
     }
 }

@@ -45,7 +45,7 @@ use netfence_crypto::AsKeyAgent;
 use netfence_ctrl::policy::PolicyStore;
 use netfence_sim::deploy::{
     ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
-    QueueFactory, RouterAction, RouterAgent,
+    QueueFactory, RouterAction, RouterAgent, RouterFault,
 };
 use netfence_sim::packet::{AsNum, ChannelClass, Extension, HostAddr, Packet, Protocol};
 use netfence_sim::prelude::{DropCause, Timeline};
@@ -183,48 +183,46 @@ impl DefenseFactory for NetFenceDefense {
                 announcer_of.entry(net.nodes[node.0].as_num()).or_insert(node);
             }
         }
+        // The (bottleneck link → owning AS) registrations every access
+        // router needs; identical for all of them, captured once.
+        let link_as_pairs: Vec<(LinkId, AsId)> = inter_router_links
+            .iter()
+            .map(|(_, spec)| (LinkId(spec.addr), AsId(net.nodes[spec.from.0].as_num())))
+            .collect();
         for &node_id in &agent_nodes {
             let i = node_id.0;
             let node = &net.nodes[i];
             let as_num = node.as_num();
-            let access = if node.is_access_router() {
-                let mut ka_root = [0u8; 16];
-                ka_root[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
-                ka_root[8..].copy_from_slice(&self.seed.to_be_bytes());
-                let mut access =
-                    AccessRouter::new(self.cfg.clone(), AsId(as_num), ka_root, Default::default());
-                for (_, spec) in &inter_router_links {
-                    let owner_as = net.nodes[spec.from.0].as_num();
-                    access.register_link_as(LinkId(spec.addr), AsId(owner_as));
-                }
-                Some(access)
-            } else {
-                None
-            };
+            let mut ka_root = [0u8; 16];
+            ka_root[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
+            ka_root[8..].copy_from_slice(&self.seed.to_be_bytes());
             // Bottleneck state for this router's outgoing inter-router
             // links: a sparse (link index, state) list sorted ascending —
             // routers own only a handful of links, so allocation stays
             // proportional to the agent, not to the whole network.
-            let mut bottlenecks: Vec<(usize, BottleneckLink)> = Vec::new();
-            let mut as_policers: Vec<(usize, AsPolicer)> = Vec::new();
+            let mut bl_specs: Vec<(usize, LinkId, u64)> = Vec::new();
             for &(li, spec) in &inter_router_links {
                 if spec.from.0 != i {
                     continue;
                 }
-                bottlenecks.push((
-                    li,
-                    BottleneckLink::new(
-                        LinkId(spec.addr),
-                        spec.capacity,
-                        Default::default(),
-                        self.cfg.clone(),
-                        0,
-                    ),
-                ));
-                if let Some(mode) = self.as_policing_mode {
-                    as_policers.push((li, AsPolicer::new(mode, spec.capacity, 0)));
-                }
+                bl_specs.push((li, LinkId(spec.addr), spec.capacity));
             }
+            // Everything needed to rebuild this agent's defense state from
+            // scratch — construction at deploy time and reconstruction
+            // after an injected reboot go through the same template, so a
+            // rebooted router is indistinguishable from a freshly deployed
+            // one (modulo its rotated time-varying secret).
+            let template = AgentTemplate {
+                cfg: self.cfg.clone(),
+                as_id: AsId(as_num),
+                ka_root,
+                is_access: node.is_access_router(),
+                link_as: link_as_pairs.clone(),
+                bottlenecks: bl_specs,
+                policing_mode: self.as_policing_mode,
+                key_ttl: self.key_ttl,
+                generation: 0,
+            };
             let announcer = (announcer_of.get(&as_num) == Some(&node_id)).then(|| KeyAnnouncer {
                 asn: as_num,
                 public_value: self.key_agent(as_num).public_value(),
@@ -235,12 +233,14 @@ impl DefenseFactory for NetFenceDefense {
             builder.router_agent(
                 node_id,
                 Box::new(NetFenceRouterAgent {
-                    access,
-                    bottlenecks,
-                    as_policers,
+                    access: template.build_access(),
+                    bottlenecks: template.build_bottlenecks(),
+                    as_policers: template.build_policers(),
                     key_agent: self.key_agent(as_num),
                     keys: PolicyStore::new(self.key_ttl, 0),
                     announcer,
+                    template,
+                    clock_offset: 0,
                     stats: AgentStats::default(),
                 }),
             );
@@ -385,6 +385,75 @@ struct KeyAnnouncer {
     last: Nanos,
 }
 
+/// Deploy-time construction parameters of one router agent, kept so an
+/// injected reboot can rebuild the agent's volatile defense state exactly
+/// the way `deploy` built it. `generation` counts reboots and key
+/// desyncs: each one derives a fresh time-varying secret root, so feedback
+/// stamped before the fault genuinely stops validating.
+#[derive(Debug)]
+struct AgentTemplate {
+    cfg: Config,
+    as_id: AsId,
+    ka_root: [u8; 16],
+    is_access: bool,
+    /// (bottleneck link → owning AS) registrations for the access router.
+    link_as: Vec<(LinkId, AsId)>,
+    /// (link index, link id, capacity) of each owned bottleneck link.
+    bottlenecks: Vec<(usize, LinkId, u64)>,
+    policing_mode: Option<AsPolicingMode>,
+    key_ttl: Nanos,
+    generation: u32,
+}
+
+impl AgentTemplate {
+    /// The time-varying secret root of the current generation (generation
+    /// 0 is the deploy-time root, so fresh construction is unchanged).
+    fn root_for_generation(&self) -> [u8; 16] {
+        let mut root = self.ka_root;
+        let mix = (self.generation as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for (slot, byte) in root[..8].iter_mut().zip(mix.to_be_bytes()) {
+            *slot ^= byte;
+        }
+        root
+    }
+
+    fn build_access(&self) -> Option<AccessRouter> {
+        if !self.is_access {
+            return None;
+        }
+        let mut access = AccessRouter::new(
+            self.cfg.clone(),
+            self.as_id,
+            self.root_for_generation(),
+            Default::default(),
+        );
+        for &(link, owner) in &self.link_as {
+            access.register_link_as(link, owner);
+        }
+        Some(access)
+    }
+
+    fn build_bottlenecks(&self) -> Vec<(usize, BottleneckLink)> {
+        self.bottlenecks
+            .iter()
+            .map(|&(li, link, capacity)| {
+                (li, BottleneckLink::new(link, capacity, Default::default(), self.cfg.clone(), 0))
+            })
+            .collect()
+    }
+
+    fn build_policers(&self) -> Vec<(usize, AsPolicer)> {
+        match self.policing_mode {
+            Some(mode) => self
+                .bottlenecks
+                .iter()
+                .map(|&(li, _, capacity)| (li, AsPolicer::new(mode, capacity, 0)))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
 /// The NetFence agent of one deployed router: access-router protocol state
 /// (when the node is an access router) plus per-outgoing-link bottleneck
 /// state.
@@ -403,6 +472,13 @@ struct NetFenceRouterAgent {
     keys: PolicyStore<AsNum>,
     /// Present on the AS's designated announcer when a key TTL is set.
     announcer: Option<KeyAnnouncer>,
+    /// Deploy-time construction parameters, for fault-injected rebuilds.
+    template: AgentTemplate,
+    /// Injected clock skew (ns) applied to this router's protocol clock —
+    /// the `now` its feedback stamping, validation (§4.4 expiration
+    /// window) and AIMD machinery observe. Control-plane cadence (key TTL
+    /// purge, announcer re-posts) stays on engine time.
+    clock_offset: i64,
     stats: AgentStats,
 }
 
@@ -410,6 +486,15 @@ impl NetFenceRouterAgent {
     fn bottleneck_mut(&mut self, link_index: usize) -> Option<&mut BottleneckLink> {
         let i = self.bottlenecks.binary_search_by_key(&link_index, |(li, _)| *li).ok()?;
         Some(&mut self.bottlenecks[i].1)
+    }
+
+    /// Engine time as seen by this router's (possibly skewed) local clock.
+    fn local_now(&self, now: Nanos) -> Nanos {
+        if self.clock_offset >= 0 {
+            now.saturating_add(self.clock_offset as u64)
+        } else {
+            now.saturating_sub(self.clock_offset.unsigned_abs())
+        }
     }
 }
 
@@ -422,6 +507,9 @@ impl RouterAgent for NetFenceRouterAgent {
         pkt: &mut Packet,
         _ctl: &mut ControlPlane,
     ) -> RouterAction {
+        // Feedback stamping, validation and policing all run on the
+        // router's local (possibly fault-skewed) clock.
+        let now = self.local_now(now);
         if is_access {
             let Some(access) = self.access.as_mut() else {
                 return RouterAction::Forward;
@@ -507,6 +595,7 @@ impl RouterAgent for NetFenceRouterAgent {
     }
 
     fn on_link_dequeue(&mut self, now: Nanos, link: LinkRef, pkt: &mut Packet) {
+        let now = self.local_now(now);
         let Some(bl) = self.bottleneck_mut(link.index) else { return };
         if pkt.channel == ChannelClass::Regular {
             bl.record_regular(pkt.size, false);
@@ -522,6 +611,7 @@ impl RouterAgent for NetFenceRouterAgent {
     }
 
     fn on_link_drop(&mut self, now: Nanos, link: LinkRef, pkt: &Packet) {
+        let now = self.local_now(now);
         let Some(bl) = self.bottleneck_mut(link.index) else { return };
         if pkt.channel == ChannelClass::Regular {
             bl.record_regular(pkt.size, true);
@@ -542,11 +632,14 @@ impl RouterAgent for NetFenceRouterAgent {
     }
 
     fn tick(&mut self, now: Nanos, ctl: &mut ControlPlane) {
+        // Protocol machinery ticks on the local clock; key TTLs and the
+        // announcer cadence below stay on engine time.
+        let lnow = self.local_now(now);
         if let Some(access) = self.access.as_mut() {
-            access.tick(now);
+            access.tick(lnow);
         }
         for (_, bl) in self.bottlenecks.iter_mut() {
-            bl.tick(now);
+            bl.tick(lnow);
         }
         // Uninstall keys whose TTL lapsed without a refresh landing: the
         // peer's traffic reverts to unverifiable (no L↓ can be stamped for
@@ -568,6 +661,64 @@ impl RouterAgent for NetFenceRouterAgent {
                 let ann = KeyAnnouncement { asn: a.asn, public_value: a.public_value };
                 for &peer in &a.peers {
                     ctl.to_router(peer, ann);
+                }
+            }
+        }
+    }
+
+    fn on_fault(&mut self, now: Nanos, fault: RouterFault, ctl: &mut ControlPlane) {
+        match fault {
+            RouterFault::Reboot => {
+                // Wipe every piece of volatile defense state — AIMD
+                // limiters, pairwise AS keys, bottleneck monitoring cycles,
+                // per-AS policers — by rebuilding from the deploy template.
+                // The rebooted router comes up with a *rotated* time-varying
+                // secret (a real reboot loses `Ka`), so feedback stamped
+                // before the fault stops validating until re-stamped.
+                self.template.generation += 1;
+                self.access = self.template.build_access();
+                self.bottlenecks = self.template.build_bottlenecks();
+                self.as_policers = self.template.build_policers();
+                let carried = self.keys.stats;
+                self.keys = PolicyStore::new(self.template.key_ttl, 0);
+                self.keys.stats = carried;
+                self.clock_offset = 0;
+                // Re-bootstrap over the control plane: the designated
+                // announcer re-posts its AS's public value immediately;
+                // everyone else re-learns peers on the announcers' refresh
+                // cadence (≤ ttl/2 away — or never, if keys are permanent
+                // and no announcers exist).
+                if let Some(a) = self.announcer.as_mut() {
+                    a.last = now;
+                    let ann = KeyAnnouncement { asn: a.asn, public_value: a.public_value };
+                    for &peer in &a.peers {
+                        ctl.to_router(peer, ann);
+                    }
+                }
+            }
+            RouterFault::KeyDesync => {
+                // Rotate only the time-varying secret: held feedback goes
+                // stale and surfaces as typed invalid-mac demotions until
+                // freshly stamped feedback circulates back (§4.4).
+                self.template.generation += 1;
+                if let Some(access) = self.access.as_mut() {
+                    access.rotate_secret(self.template.root_for_generation());
+                }
+            }
+            RouterFault::ClockSkew { offset_ns } => {
+                self.clock_offset = offset_ns;
+            }
+            RouterFault::MemoryPressure { evict } => {
+                // A forced eviction burst: tear the evicted peers' keys out
+                // of the access-router and bottleneck key tables, exactly
+                // as a TTL lapse would.
+                for asn in self.keys.evict_oldest(evict) {
+                    if let Some(access) = self.access.as_mut() {
+                        access.remove_as_key(AsId(asn));
+                    }
+                    for (_, bl) in self.bottlenecks.iter_mut() {
+                        bl.remove_as_key(AsId(asn));
+                    }
                 }
             }
         }
@@ -609,6 +760,7 @@ impl RouterAgent for NetFenceRouterAgent {
         out.rules_rejected += self.keys.stats.rejected;
         if let Some(access) = &self.access {
             out.rate_limiters += access.limiter_count();
+            out.invalid_feedback += access.stats().invalid_feedback;
         }
         for (_, bl) in self.bottlenecks.iter() {
             if bl.in_mon() {

@@ -26,7 +26,7 @@ use std::collections::{BTreeSet, HashMap};
 use netfence_ctrl::policy::PolicyStore;
 use netfence_sim::deploy::{
     ControlPlane, DefenseFactory, DefenseReport, Deployment, DeploymentSpec, HostShim, LinkRef,
-    QueueFactory, RouterAction, RouterAgent,
+    QueueFactory, RouterAction, RouterAgent, RouterFault,
 };
 use netfence_sim::packet::{HostAddr, Packet};
 use netfence_sim::prelude::{DropCause, Timeline};
@@ -261,6 +261,26 @@ impl RouterAgent for StopItRouterAgent {
 
     fn tick(&mut self, now: Nanos, _ctl: &mut ControlPlane) {
         self.filters.purge(now);
+    }
+
+    fn on_fault(&mut self, _now: Nanos, fault: RouterFault, _ctl: &mut ControlPlane) {
+        match fault {
+            RouterFault::Reboot => {
+                // A reboot loses the filter table; the flood leaks again
+                // until victims notice and re-file their requests. The
+                // lifecycle counters are measurement, not router state, so
+                // they survive.
+                let carried = self.filters.stats;
+                self.filters = PolicyStore::new(self.filters.ttl(), self.filters.capacity());
+                self.filters.stats = carried;
+            }
+            RouterFault::MemoryPressure { evict } => {
+                self.filters.evict_oldest(evict);
+            }
+            // StopIt carries no MACs and stamps no timestamps: key desync
+            // and clock skew have nothing to corrupt here.
+            RouterFault::KeyDesync | RouterFault::ClockSkew { .. } => {}
+        }
     }
 
     fn report(&self, out: &mut DefenseReport) {

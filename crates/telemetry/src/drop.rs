@@ -44,11 +44,15 @@ pub enum DropCause {
     Misrouted,
     /// No route: the forwarding node had no next hop for the destination.
     NoRoute,
+    /// The packet's link went down underneath it: it was queued on (or in
+    /// flight across) a link at the instant a fault took the link out, or
+    /// it was offered to a link that is currently down.
+    LinkDown,
 }
 
 impl DropCause {
     /// Number of distinct causes (the length of [`DropCause::ALL`]).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every cause, in display order.
     pub const ALL: [DropCause; DropCause::COUNT] = [
@@ -63,6 +67,7 @@ impl DropCause {
         DropCause::TvaNoCapability,
         DropCause::Misrouted,
         DropCause::NoRoute,
+        DropCause::LinkDown,
     ];
 
     /// Dense index of this cause into a [`DropBudget`].
@@ -84,6 +89,7 @@ impl DropCause {
             DropCause::TvaNoCapability => "tva-no-capability",
             DropCause::Misrouted => "misrouted",
             DropCause::NoRoute => "no-route",
+            DropCause::LinkDown => "link-down",
         }
     }
 }

@@ -19,6 +19,12 @@ pub enum HopStage {
     Drop,
     /// The packet reached its destination host.
     Deliver,
+    /// A fault-injection mark: not a packet hop at all, but an engine
+    /// fault (link down/up, router reboot, …) stamped into the trace so
+    /// packet timelines can be read against the fault schedule. Fault
+    /// marks carry `pkt = 0`, `flow = 0` and are recorded unconditionally
+    /// whenever the recorder is enabled.
+    Fault,
 }
 
 impl HopStage {
@@ -31,6 +37,7 @@ impl HopStage {
             HopStage::Dequeue => "dequeue",
             HopStage::Drop => "drop",
             HopStage::Deliver => "deliver",
+            HopStage::Fault => "fault",
         }
     }
 }

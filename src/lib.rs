@@ -14,6 +14,7 @@
 //! | [`ctrl`] | Asynchronous control-plane transport (latency, loss, outages, TTL'd rules) |
 //! | [`adversary`] | Adaptive attacker strategies (shrew, rolling, probe, flash-mimic agents) |
 //! | [`systems`] | NetFence / TVA+ / StopIt / FQ bound to the simulator |
+//! | [`faults`] | Declarative, deterministic fault plans (chaos engine) |
 //! | [`experiments`] | Declarative `ScenarioSpec` → `Runner` → `Record` API |
 //!
 //! Quickstart — run a scenario through the declarative API:
@@ -37,6 +38,7 @@ pub use netfence_core as core;
 pub use netfence_crypto as crypto;
 pub use netfence_ctrl as ctrl;
 pub use netfence_experiments as experiments;
+pub use netfence_faults as faults;
 pub use netfence_sim as sim;
 pub use netfence_systems as systems;
 pub use netfence_topo as topo;
